@@ -1,0 +1,49 @@
+(* E2 (Fig. 6): closed-form steady-state node stresses vs the numerical
+   Korhonen solver on the paper's three validation structures, plus the
+   E8 material sanity check. *)
+
+module M = Em_core.Material
+module U = Em_core.Units
+module Ss = Em_core.Steady_state
+module St = Em_core.Structure
+module Psteady = Empde.Steady
+module Kor = Empde.Korhonen
+module Rp = Emflow.Report
+
+let cu = M.cu_dac21
+
+let run (_ : B_util.config) =
+  B_util.heading "Fig. 6: closed form vs numerical solver (COMSOL stand-in)";
+  Format.printf "%a@.@." M.pp cu;
+  B_util.note "E8 check: (jl)_crit from Sec. V-A constants = %.4f A/um (paper uses 0.27)"
+    (U.a_per_m_to_a_per_um (M.jl_crit cu));
+  List.iter
+    (fun (name, s) ->
+      let closed = Ss.solve cu s in
+      let direct =
+        Psteady.solve_structure ~tol:1e-13 ~target_dx:(U.um 0.5) cu s
+      in
+      let transient = Kor.run_structure ~target_dx:(U.um 1.) cu s in
+      let table =
+        Rp.create
+          [ "node"; "closed form (MPa)"; "FV steady (MPa)"; "FV transient (MPa)" ]
+      in
+      Array.iteri
+        (fun v sigma ->
+          Rp.add_row table
+            [
+              string_of_int v;
+              Printf.sprintf "%+.4f" (U.pa_to_mpa sigma);
+              Printf.sprintf "%+.4f" (U.pa_to_mpa direct.Psteady.node_stress.(v));
+              Printf.sprintf "%+.4f" (U.pa_to_mpa transient.Kor.node_stress.(v));
+            ])
+        closed.Ss.node_stress;
+      Printf.printf "%s structure (%d segments):\n" name (St.num_segments s);
+      Rp.print table;
+      B_util.note "max rel. error: steady %.2e, transient %.2e"
+        (Numerics.Stats.max_rel_error direct.Psteady.node_stress
+           closed.Ss.node_stress)
+        (Numerics.Stats.max_rel_error transient.Kor.node_stress
+           closed.Ss.node_stress);
+      print_newline ())
+    Emflow.Fig6.all

@@ -1,0 +1,80 @@
+(* E5 (Table III): Blech filter vs exact test on OpenROAD-flow-style
+   template-synthesized power grids for the paper's eight circuits. *)
+
+module Op = Pdn.Openpdn
+module Gg = Pdn.Grid_gen
+module Ir = Pdn.Irdrop
+module Flow = Emflow.Em_flow
+module Cl = Em_core.Classify
+module Rp = Emflow.Report
+
+let paper_rows =
+  [
+    ("28nm", "gcd", 678, 634, 8, 31, 5);
+    ("28nm", "aes", 11361, 8039, 0, 3297, 25);
+    ("28nm", "jpeg", 123220, 63889, 71, 58696, 564);
+    ("45nm", "dynamic_node", 6270, 2617, 256, 3059, 338);
+    ("45nm", "aes", 7212, 3255, 322, 3160, 475);
+    ("45nm", "ibex", 12128, 4645, 1112, 4964, 1407);
+    ("45nm", "jpeg", 35848, 10052, 5047, 15479, 5270);
+    ("45nm", "swerv", 59049, 14545, 9762, 23366, 11376);
+  ]
+
+let node_name = function Op.N28 -> "28nm" | Op.N45 -> "45nm"
+
+let run (_cfg : B_util.config) =
+  B_util.heading "Table III: Blech filter vs exact test on OpenROAD-style grids";
+  let ours =
+    Rp.create
+      [ "node"; "circuit"; "E"; "E paper"; "TP"; "TN"; "FP"; "FN"; "IR mean" ]
+  in
+  let results =
+    List.map
+      (fun c ->
+        let grid = Op.synthesize_circuit c in
+        let target = B_util.table3_ir_target c in
+        let scaled, analysis = Ir.scale_to_ir ~metric:Ir.Mean grid ~target in
+        let r = Flow.run scaled in
+        let x = r.Flow.counts in
+        Rp.add_row ours
+          [
+            node_name c.Op.node;
+            c.Op.circuit_name;
+            Rp.int_cell (grid.Gg.num_wires + grid.Gg.num_vias);
+            Rp.int_cell c.Op.paper_edges;
+            Rp.int_cell x.Cl.tp;
+            Rp.int_cell x.Cl.tn;
+            Rp.int_cell x.Cl.fp;
+            Rp.int_cell x.Cl.fn;
+            Printf.sprintf "%.0fmV" (analysis.Ir.mean_drop *. 1e3);
+          ];
+        (c, scaled, r))
+      Op.table3_circuits
+  in
+  Rp.print ours;
+  B_util.note
+    "Operating point: loads scaled to a mean IR drop (12 mV @28nm, 30 mV";
+  B_util.note
+    "@45nm). The paper's nominal 5 mV worst-case cap is physically";
+  B_util.note
+    "inconsistent with its own Fig. 8 current densities (a segment at";
+  B_util.note
+    "jl = 1 A/um alone drops rho*jl = 22 mV); see EXPERIMENTS.md.";
+  print_newline ();
+  Printf.printf "Paper's Table III (real P&R'd circuits):\n";
+  let paper =
+    Rp.create [ "node"; "circuit"; "E"; "TP"; "TN"; "FP"; "FN" ]
+  in
+  List.iter
+    (fun (node, name, e, tp, tn, fp, fn) ->
+      Rp.add_row paper
+        [
+          node; name; Rp.int_cell e; Rp.int_cell tp; Rp.int_cell tn;
+          Rp.int_cell fp; Rp.int_cell fn;
+        ])
+    paper_rows;
+  Rp.print paper;
+  B_util.note
+    "Shape checks: FP dominates the errors on every circuit; error counts";
+  B_util.note "grow with design size; 45nm rows show more TN/FN than 28nm.";
+  results

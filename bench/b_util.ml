@@ -1,0 +1,49 @@
+(* Shared plumbing for the experiment harness. *)
+
+type config = {
+  full : bool;          (* paper-scale workloads *)
+  scale : float option; (* explicit override of workload scale *)
+  out_dir : string;     (* where CSV series land *)
+}
+
+let default_config = { full = false; scale = None; out_dir = "bench_out" }
+
+let ensure_out_dir cfg =
+  if not (Sys.file_exists cfg.out_dir) then Sys.mkdir cfg.out_dir 0o755
+
+let out_path cfg name = Filename.concat cfg.out_dir name
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let heading title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n\n%!" bar title bar
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n%!")
+
+(* The scale an IBM-like workload runs at: paper scale under --full,
+   otherwise a reduced default that keeps the whole suite under a few
+   minutes. *)
+let ibm_scale cfg size =
+  match cfg.scale with
+  | Some s -> s
+  | None ->
+    if cfg.full then 1.
+    else begin
+      match size with
+      | Pdn.Grid_gen.Pg1 -> 1.
+      | Pdn.Grid_gen.Pg2 -> 0.7
+      | Pdn.Grid_gen.Pg3 -> 0.35
+      | Pdn.Grid_gen.Pg6 -> 0.3
+    end
+
+(* Operating points for the Table III flow (see DESIGN.md E5 and
+   EXPERIMENTS.md for why the paper's nominal 5 mV worst-case IR is
+   replaced by mean-IR targets). *)
+let table3_ir_target (c : Pdn.Openpdn.circuit) =
+  match c.Pdn.Openpdn.node with
+  | Pdn.Openpdn.N28 -> 12e-3
+  | Pdn.Openpdn.N45 -> 30e-3

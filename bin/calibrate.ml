@@ -1,0 +1,31 @@
+(* One-off calibration of preset sizes against the paper's |E| columns. *)
+module Op = Pdn.Openpdn
+module Gg = Pdn.Grid_gen
+
+let ibm_edges base_counts scale current =
+  let counts = Array.map (fun c -> max 2 (int_of_float (Float.round (float_of_int c *. scale)))) base_counts in
+  let die = float_of_int counts.(0) *. 20e-6 in
+  let spec = { Gg.tech = Pdn.Tech.ibm_like; die_width = die; die_height = die;
+               stripe_counts = counts; pad_every = 8; load_fraction = 0.35;
+               current_per_net = current; bottom_tap_pitch = Some 4e-6;
+               voltage_domains = 1; seed = 424242L } in
+  let g = Gg.generate spec in
+  (counts, g.Gg.num_wires + g.Gg.num_vias)
+
+let () =
+  List.iter
+    (fun (name, base, target, current) ->
+      let lo = ref 0.05 and hi = ref 1.2 in
+      for _ = 1 to 14 do
+        let mid = sqrt (!lo *. !hi) in
+        let _, e = ibm_edges base mid current in
+        if e < target then lo := mid else hi := mid
+      done;
+      let counts, e = ibm_edges base (sqrt (!lo *. !hi)) current in
+      Printf.printf "%s: counts [%s] -> %d edges (target %d)\n%!" name
+        (String.concat ";" (Array.to_list (Array.map string_of_int counts)))
+        e target)
+    [ ("pg1", [|125;105;52;25|], 29750, 6.);
+      ("pg2", [|262;212;106;50|], 125668, 12.);
+      ("pg3", [|685;545;272;129|], 835071, 25.);
+      ("pg6", [|950;770;385;180|], 1648621, 40.) ]

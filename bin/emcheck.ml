@@ -1,0 +1,331 @@
+(* emcheck: EM immortality checking for power-grid netlists.
+
+   Subcommands:
+     analyze   parse a SPICE netlist, solve the DC operating point,
+               extract per-layer structures and report immortality
+     wire      check a single multi-segment wire given on the command line
+     material  print the material model and derived constants
+
+   The netlist analysis assumes IBM-benchmark node naming
+   (n<layer>_<x>_<y> with nm coordinates) and takes wire geometry from
+   the selected technology's layer table. *)
+
+open Cmdliner
+module M = Em_core.Material
+module U = Em_core.Units
+module St = Em_core.Structure
+module Im = Em_core.Immortality
+module Cl = Em_core.Classify
+module Flow = Emflow.Em_flow
+module Rp = Emflow.Report
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let tech_arg =
+  let techs =
+    [ ("ibm", Pdn.Tech.ibm_like); ("28nm", Pdn.Tech.n28);
+      ("45nm", Pdn.Tech.nangate45) ]
+  in
+  let tech_conv = Arg.enum techs in
+  Arg.(
+    value
+    & opt tech_conv Pdn.Tech.ibm_like
+    & info [ "t"; "tech" ] ~docv:"TECH"
+        ~doc:"Technology for wire geometry: $(b,ibm), $(b,28nm) or $(b,45nm).")
+
+let sigma_t_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "thermal-stress" ] ~docv:"MPA"
+        ~doc:"Thermal (CTE) stress offset in MPa, subtracted from the \
+              critical stress.")
+
+let temperature_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "temperature" ] ~docv:"K" ~doc:"Operating temperature in kelvin.")
+
+let material_of ~sigma_t ~temperature =
+  let m = M.with_thermal_stress M.cu_dac21 (U.mpa sigma_t) in
+  match temperature with None -> m | Some t -> M.with_temperature m t
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze_netlist path tech sigma_t temperature with_maxpath top fix json_path html_path =
+  let material = material_of ~sigma_t ~temperature in
+  let netlist = Spice.Parser.parse_file path in
+  Format.printf "%a@." Spice.Netlist.pp_stats netlist;
+  let findings = Spice.Checker.check netlist in
+  List.iter (fun f -> Format.printf "%a@." Spice.Checker.pp_finding f) findings;
+  if Spice.Checker.errors findings <> [] then
+    failwith "netlist fails lint; aborting";
+  let sol = Spice.Mna.solve netlist in
+  Format.printf "DC solve: %d CG iterations, residual %.2e@."
+    sol.Spice.Mna.cg_iterations sol.Spice.Mna.residual;
+  let structures = Emflow.Extract.extract ~tech sol in
+  let r = Flow.run_on_structures ~material ~with_maxpath structures in
+  Format.printf "%a@.@." Flow.pp_summary r;
+  Printf.printf "Per-layer breakdown:\n";
+  Emflow.Report.print
+    (Emflow.Layer_report.to_table (Emflow.Layer_report.analyze ~material structures));
+  (if fix then begin
+     let plan = Emflow.Fixer.plan ~material structures in
+     Printf.printf
+       "\nFix plan (uniform widening, 10%% safety): %d mortal structures, \
+        %.1f um^2 extra metal\n"
+       plan.Emflow.Fixer.mortal_structures
+       (plan.Emflow.Fixer.total_extra_area *. 1e12);
+     Emflow.Report.print (Emflow.Fixer.to_table plan);
+     if not (Emflow.Fixer.verify ~material structures plan) then
+       Printf.printf "WARNING: fix plan failed verification\n"
+   end);
+  (* Most endangered structures. *)
+  let ranked =
+    structures
+    |> List.map (fun es ->
+           (es, Im.check material es.Emflow.Extract.structure))
+    |> List.sort (fun (_, a) (_, b) -> compare (Im.margin a) (Im.margin b))
+  in
+  let table =
+    Rp.create [ "layer"; "segments"; "peak MPa"; "margin MPa"; "at node" ]
+  in
+  List.iteri
+    (fun i (es, report) ->
+      if i < top then
+        Rp.add_row table
+          [
+            Printf.sprintf "M%d" es.Emflow.Extract.layer_level;
+            Rp.int_cell (St.num_segments es.Emflow.Extract.structure);
+            Printf.sprintf "%.2f" (U.pa_to_mpa report.Im.max_stress);
+            Printf.sprintf "%+.2f" (U.pa_to_mpa (Im.margin report));
+            es.Emflow.Extract.node_names.(report.Im.max_node);
+          ])
+    ranked;
+  Printf.printf "Most endangered structures:\n";
+  Rp.print table;
+  (match html_path with
+  | None -> ()
+  | Some out ->
+    Emflow.Html_report.write out
+      ~title:(Printf.sprintf "EM sign-off: %s" (Filename.basename path))
+      ~material ~tech ~structures r;
+    Printf.printf "HTML report written to %s\n" out);
+  (match json_path with
+  | None -> ()
+  | Some out ->
+    let layers = Emflow.Layer_report.analyze ~material structures in
+    let plan = Emflow.Fixer.plan ~material structures in
+    let doc =
+      Emflow.Json_out.Obj
+        [
+          ("netlist", Emflow.Json_out.String path);
+          ("flow", Emflow.Json_out.of_flow_result r);
+          ("layers", Emflow.Json_out.of_layer_stats layers);
+          ("fix_plan", Emflow.Json_out.of_fixer_plan plan);
+        ]
+    in
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Emflow.Json_out.to_channel oc doc);
+    Printf.printf "JSON report written to %s\n" out);
+  if r.Flow.counts.Cl.fp > 0 then begin
+    Printf.printf
+      "WARNING: the traditional Blech filter would clear %d mortal segments.\n"
+      r.Flow.counts.Cl.fp;
+    `Ok 1
+  end
+  else `Ok 0
+
+let analyze_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"NETLIST" ~doc:"SPICE power-grid netlist to analyze.")
+  in
+  let with_maxpath =
+    Arg.(
+      value & flag
+      & info [ "with-maxpath" ]
+          ~doc:"Also run the max-path jl heuristic for comparison.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Number of endangered structures to list.")
+  in
+  let fix =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:"Print a uniform-widening repair plan for mortal structures.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a machine-readable JSON report to $(docv).")
+  in
+  let html_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:"Write a self-contained HTML report (tables + SVG scatter).")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun path tech sigma_t temperature with_maxpath top fix json html ->
+             match
+               analyze_netlist path tech sigma_t temperature with_maxpath top
+                 fix json html
+             with
+             | `Ok n -> `Ok n
+             | exception Spice.Parser.Parse_error { line; message } ->
+               `Error (false, Printf.sprintf "%s:%d: %s" path line message)
+             | exception Spice.Mna.Unsupported msg ->
+               `Error (false, "unsupported netlist: " ^ msg)
+             | exception Failure msg -> `Error (false, msg))
+        $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ with_maxpath $ top
+        $ fix $ json_path $ html_path))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyze a power-grid netlist for EM immortality")
+    (Term.map (function 0 -> () | _ -> ()) term)
+
+(* ------------------------------------------------------------------ *)
+(* wire                                                                *)
+
+let check_wire segments sigma_t temperature =
+  let material = material_of ~sigma_t ~temperature in
+  match segments with
+  | [] -> `Error (false, "provide at least one L,W,J triple")
+  | _ ->
+    let parsed =
+      List.map
+        (fun spec ->
+          match String.split_on_char ',' spec with
+          | [ l; w; j ] -> begin
+            match
+              (float_of_string_opt l, float_of_string_opt w, float_of_string_opt j)
+            with
+            | Some l, Some w, Some j ->
+              St.segment ~length:(U.um l) ~width:(U.um w) ~j ()
+            | _ -> failwith spec
+          end
+          | _ -> failwith spec)
+        segments
+    in
+    let s = St.line parsed in
+    let report = Im.check material s in
+    Format.printf "%a@.@." St.pp s;
+    List.iteri
+      (fun k seg ->
+        Format.printf "segment %d: jl = %.4f A/um -> traditional Blech says %s@."
+          k
+          (U.a_per_m_to_a_per_um (Em_core.Blech.product seg))
+          (if Em_core.Blech.segment_immortal material seg then "immortal"
+           else "potentially mortal"))
+      parsed;
+    Format.printf "@.%a@." Im.pp report;
+    `Ok ()
+
+let wire_cmd =
+  let segments =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"L,W,J"
+          ~doc:
+            "Segments of a straight multi-segment wire, each as \
+             length(um),width(um),current density(A/m^2).")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun segments sigma_t temperature ->
+             try check_wire segments sigma_t temperature
+             with Failure spec ->
+               `Error (false, Printf.sprintf "malformed segment %S" spec))
+        $ segments $ sigma_t_arg $ temperature_arg))
+  in
+  Cmd.v
+    (Cmd.info "wire" ~doc:"Check a single multi-segment wire")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+
+let verify_cmd =
+  let netlist_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"NETLIST" ~doc:"SPICE netlist to solve.")
+  in
+  let solution_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"SOLUTION" ~doc:"Golden node-voltage file.")
+  in
+  let tol =
+    Arg.(
+      value & opt float 1e-6
+      & info [ "tol" ] ~docv:"V" ~doc:"Allowed per-node voltage error.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun netlist solution tol ->
+             match
+               let net = Spice.Parser.parse_file netlist in
+               let sol = Spice.Mna.solve ~tol:1e-12 net in
+               let golden = Spice.Solution_file.parse_file solution in
+               Spice.Solution_file.check ~tol ~reference:golden sol
+             with
+             | Ok () ->
+               print_endline "solution matches";
+               `Ok ()
+             | Error msg -> `Error (false, msg)
+             | exception Spice.Parser.Parse_error { line; message } ->
+               `Error (false, Printf.sprintf "%s:%d: %s" netlist line message)
+             | exception Failure msg -> `Error (false, msg)
+             | exception Spice.Mna.Unsupported msg ->
+               `Error (false, "unsupported netlist: " ^ msg))
+        $ netlist_arg $ solution_arg $ tol))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check the DC solver against a golden solution file")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* material                                                            *)
+
+let material_cmd =
+  let term =
+    Term.(
+      const (fun sigma_t temperature ->
+          let m = material_of ~sigma_t ~temperature in
+          Format.printf "%a@." M.pp m)
+      $ sigma_t_arg $ temperature_arg)
+  in
+  Cmd.v
+    (Cmd.info "material" ~doc:"Print the material model and derived constants")
+    term
+
+let () =
+  let info =
+    Cmd.info "emcheck" ~version:"1.0.0"
+      ~doc:"EM immortality checking for general interconnects (DAC'21)"
+  in
+  exit
+    (Cmd.eval (Cmd.group info [ analyze_cmd; wire_cmd; verify_cmd; material_cmd ]))

@@ -1,0 +1,122 @@
+(* pggen: synthesize IBM-style or OpenROAD-style power-grid netlists and
+   write them as SPICE decks (the format emcheck analyze consumes). *)
+
+open Cmdliner
+module Gg = Pdn.Grid_gen
+module Op = Pdn.Openpdn
+module Ir = Pdn.Irdrop
+module N = Spice.Netlist
+
+let write_netlist path netlist =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> N.output oc netlist)
+
+let write_solution path netlist =
+  let sol = Spice.Mna.solve netlist in
+  Spice.Solution_file.write path (Spice.Solution_file.of_solution sol);
+  Printf.printf "golden solution -> %s\n" path
+
+let ibm_cmd =
+  let size =
+    let sizes =
+      [ ("pg1", Gg.Pg1); ("pg2", Gg.Pg2); ("pg3", Gg.Pg3); ("pg6", Gg.Pg6) ]
+    in
+    Arg.(
+      value
+      & opt (enum sizes) Gg.Pg1
+      & info [ "s"; "size" ] ~docv:"SIZE"
+          ~doc:"Benchmark size: $(b,pg1), $(b,pg2), $(b,pg3) or $(b,pg6).")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.
+      & info [ "scale" ] ~docv:"X" ~doc:"Stripe-count scale factor.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output netlist path.")
+  in
+  let solution =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "solution" ] ~docv:"FILE"
+          ~doc:"Also solve the grid and write a golden solution file.")
+  in
+  let term =
+    Term.(
+      const (fun size scale out solution ->
+          let grid = Gg.generate (Gg.ibm_preset ~scale size) in
+          write_netlist out grid.Gg.netlist;
+          Format.printf "%a@." N.pp_stats grid.Gg.netlist;
+          Printf.printf "%d wires + %d vias, %d pads, %d loads -> %s\n"
+            grid.Gg.num_wires grid.Gg.num_vias grid.Gg.num_pads
+            grid.Gg.num_loads out;
+          Option.iter (fun p -> write_solution p grid.Gg.netlist) solution)
+      $ size $ scale $ out $ solution)
+  in
+  Cmd.v
+    (Cmd.info "ibm" ~doc:"Generate an IBM-benchmark-style grid")
+    term
+
+let openroad_cmd =
+  let circuit =
+    let names =
+      List.map
+        (fun c ->
+          ( Printf.sprintf "%s-%s" c.Op.circuit_name
+              (match c.Op.node with Op.N28 -> "28nm" | Op.N45 -> "45nm"),
+            c ))
+        Op.table3_circuits
+    in
+    Arg.(
+      required
+      & opt (some (enum names)) None
+      & info [ "c"; "circuit" ] ~docv:"CIRCUIT"
+          ~doc:
+            (Printf.sprintf "Circuit: one of %s."
+               (String.concat ", " (List.map fst names))))
+  in
+  let ir =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "ir" ] ~docv:"MV"
+          ~doc:"Scale loads to this mean IR drop in millivolts.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output netlist path.")
+  in
+  let term =
+    Term.(
+      const (fun circuit ir out ->
+          let grid = Op.synthesize_circuit circuit in
+          let grid =
+            match ir with
+            | None -> grid
+            | Some mv ->
+              fst (Ir.scale_to_ir ~metric:Ir.Mean grid ~target:(mv *. 1e-3))
+          in
+          write_netlist out grid.Gg.netlist;
+          Format.printf "%a@." N.pp_stats grid.Gg.netlist;
+          Printf.printf "%d wires + %d vias -> %s\n" grid.Gg.num_wires
+            grid.Gg.num_vias out)
+      $ circuit $ ir $ out)
+  in
+  Cmd.v
+    (Cmd.info "openroad" ~doc:"Generate an OpenROAD-flow-style grid")
+    term
+
+let () =
+  let info =
+    Cmd.info "pggen" ~version:"1.0.0"
+      ~doc:"Synthetic power-grid benchmark generator"
+  in
+  exit (Cmd.eval (Cmd.group info [ ibm_cmd; openroad_cmd ]))

@@ -1,0 +1,26 @@
+(** Linear-system baseline ([16]-style): assemble the full steady-state
+    difference equations and solve them with a sparse iterative solver.
+
+    Every segment contributes the difference equation
+    [sigma_head - sigma_tail = -beta j l] (Lemma 1); the normal equations
+    of this (for meshes, overdetermined) system form a graph Laplacian,
+    solved by preconditioned CG with the constant nullspace projected out
+    under the mass-conservation gauge
+    [sum_v c_v sigma_v = 0], [c_v = 1/2 sum_{e at v} w_e h_e l_e]
+    (the discrete Lemma 3).
+
+    Exact-arithmetic agreement with {!Steady_state.solve} on consistent
+    structures; in practice agreement to the CG tolerance. This serves
+    both as an independent oracle for tests and as the superlinear-runtime
+    baseline in the scaling experiment (E7). *)
+
+val solve :
+  ?tol:float -> ?max_iter:int -> Material.t -> Structure.t ->
+  Steady_state.solution
+(** Connected structures only. The [blech_sum] field of the result is
+    derived from the stresses ([B_i = Q/A - sigma_i / beta]) so that the
+    record is interchangeable with the linear-time solver's. *)
+
+val residual : Material.t -> Structure.t -> Numerics.Vector.t -> float
+(** Max relative violation of the per-segment difference equations by a
+    candidate node-stress vector; diagnostic used in tests. *)

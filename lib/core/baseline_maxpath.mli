@@ -1,0 +1,24 @@
+(** The max-path jl heuristic of the paper's refs [12,13] (and [14]):
+    take the largest signed [sum j*l] over any path as the worst-case
+    Blech product and threshold it against [(jl)_crit].
+
+    The paper (citing [15]) notes this is {e incorrect}: it ignores mass
+    conservation, which anchors the absolute stress level. It is included
+    as an ablation baseline; the flow layer can run it side-by-side with
+    the exact test to quantify its misclassification. *)
+
+val max_path_jl : Structure.t -> float
+(** [max over paths P of |sum_{e in P} jhat_e l_e|] (A/m); for a
+    cycle-consistent connected structure this equals the spread
+    [max_i B_i - min_i B_i] of Blech sums. *)
+
+val structure_immortal : Material.t -> Structure.t -> bool
+(** [max_path_jl s <= jl_crit]: the per-structure screen of [12,13]. *)
+
+val segment_immortal : Material.t -> Structure.t -> bool array
+(** Branch-level variant ([13]-style): segment [e] is deemed immortal when
+    the largest [|path jl|] among paths {e through} [e] is within
+    [(jl)_crit]. Computed exactly on the BFS spanning tree by subtree /
+    rest-of-tree extremes of the Blech sums (O(|V| + |E|)); chords of a
+    mesh are screened with the whole-structure {!max_path_jl} (the
+    heuristic's original papers only treat trees). *)

@@ -1,0 +1,67 @@
+(* Walk parent pointers from [node] to the root, accumulating the signed
+   jl sum; O(depth) per call, deliberately memoless. *)
+let blech_by_walking s (tree : Traversal.tree) node =
+  let g = Structure.graph s in
+  let b = ref 0. in
+  let v = ref node in
+  while tree.Traversal.parent_edge.(!v) >= 0 do
+    let edge_id = tree.Traversal.parent_edge.(!v) in
+    let parent = tree.Traversal.parent_node.(!v) in
+    let seg = Structure.seg s edge_id in
+    let e = Ugraph.edge g edge_id in
+    let jhat =
+      if e.Ugraph.tail = parent then seg.Structure.current_density
+      else -.seg.Structure.current_density
+    in
+    b := !b +. (jhat *. seg.Structure.length);
+    v := parent
+  done;
+  !b
+
+let solve ?reference material s =
+  if not (Structure.is_connected s) then
+    invalid_arg "Baseline_naive.solve: disconnected structure";
+  let g = Structure.graph s in
+  let reference =
+    match reference with
+    | Some r ->
+      if r < 0 || r >= Structure.num_nodes s then
+        invalid_arg "Baseline_naive.solve: reference out of range";
+      r
+    | None -> ( match Ugraph.termini g with v :: _ -> v | [] -> 0)
+  in
+  let beta = Material.beta material in
+  let tree = Traversal.bfs g ~root:reference in
+  let n = Structure.num_nodes s in
+  let m = Structure.num_segments s in
+  (* Eq. (19), recomputed from scratch for every node: the A and Q sums
+     below are (intentionally) inside the per-node loop. *)
+  let node_stress = Array.make n Float.nan in
+  let blech_sum = Array.make n Float.nan in
+  let last_volume = ref 0. and last_q = ref 0. in
+  for i = 0 to n - 1 do
+    let volume = ref 0. and q = ref 0. in
+    for k = 0 to m - 1 do
+      let seg = Structure.seg s k in
+      let e = Ugraph.edge g k in
+      let wh = Structure.cross_section seg in
+      let l = seg.Structure.length in
+      let j = seg.Structure.current_density in
+      let b_tail = blech_by_walking s tree e.Ugraph.tail in
+      volume := !volume +. (wh *. l);
+      q := !q +. (wh *. ((j *. l *. l /. 2.) +. (b_tail *. l)))
+    done;
+    let b_i = blech_by_walking s tree i in
+    blech_sum.(i) <- b_i;
+    node_stress.(i) <- beta *. ((!q /. !volume) -. b_i);
+    last_volume := !volume;
+    last_q := !q
+  done;
+  {
+    Steady_state.reference;
+    node_stress;
+    blech_sum;
+    volume = !last_volume;
+    q = !last_q;
+    beta;
+  }

@@ -1,0 +1,12 @@
+(** The "simple-minded" steady-state computation the paper's §IV warns
+    against: Theorem 2's Eq. (19) re-evaluated independently at every
+    node, with every Blech sum recomputed by a fresh path walk.
+
+    Complexity is O(|V| * |E| * depth) versus the paper's O(|E|): this is
+    the stand-in for slow exact baselines (e.g., the per-structure
+    closed-form approach of Sun et al. [19], which the paper reports
+    taking over an hour on grids its method solves in minutes). Results
+    must agree with {!Steady_state.solve} to rounding. *)
+
+val solve : ?reference:int -> Material.t -> Structure.t -> Steady_state.solution
+(** Same contract as {!Steady_state.solve}; connected structures only. *)

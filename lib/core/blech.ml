@@ -1,0 +1,13 @@
+let product (s : Structure.segment) =
+  Float.abs s.Structure.current_density *. s.Structure.length
+
+let segment_immortal material s = product s <= Material.jl_crit material
+
+let filter material s =
+  Array.init (Structure.num_segments s) (fun k ->
+      segment_immortal material (Structure.seg s k))
+
+let count_immortal material s =
+  Array.fold_left
+    (fun acc immortal -> if immortal then acc + 1 else acc)
+    0 (filter material s)

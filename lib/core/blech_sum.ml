@@ -1,0 +1,27 @@
+let to_all_nodes s ~reference =
+  if not (Structure.is_connected s) then
+    invalid_arg "Blech_sum.to_all_nodes: disconnected structure";
+  if reference < 0 || reference >= Structure.num_nodes s then
+    invalid_arg "Blech_sum.to_all_nodes: reference out of range";
+  let g = Structure.graph s in
+  let tree = Traversal.bfs g ~root:reference in
+  let b = Array.make (Structure.num_nodes s) 0. in
+  ignore
+    (Traversal.fold_tree_edges tree ~init:() ~f:(fun () ~node ~parent ~edge_id ->
+         let seg = Structure.seg s edge_id in
+         let e = Ugraph.edge g edge_id in
+         let jhat =
+           if e.Ugraph.tail = parent then seg.Structure.current_density
+           else -.seg.Structure.current_density
+         in
+         b.(node) <- b.(parent) +. (jhat *. seg.Structure.length)));
+  b
+
+let along_path s ~src ~dst =
+  let b = to_all_nodes s ~reference:src in
+  b.(dst)
+
+let spread s =
+  let b = to_all_nodes s ~reference:0 in
+  let lo, hi = Array.fold_left (fun (lo, hi) x -> (Float.min lo x, Float.max hi x)) (b.(0), b.(0)) b in
+  hi -. lo

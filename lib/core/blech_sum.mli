@@ -1,0 +1,19 @@
+(** Blech sums (paper Eq. (13)): signed [sum of j*l] along tree paths.
+
+    For a connected structure, [to_all_nodes] returns [B_i] for every node
+    with respect to a reference node, computed over a BFS spanning tree.
+    When the structure's currents are cycle-consistent (see
+    {!Structure.validate}) the sums are path-independent, and
+    [B(u -> v) = B_v - B_u] for any pair. *)
+
+val to_all_nodes : Structure.t -> reference:int -> float array
+(** Raises [Invalid_argument] when the structure is disconnected or the
+    reference is out of range. A/m. *)
+
+val along_path : Structure.t -> src:int -> dst:int -> float
+(** Signed Blech sum from [src] to [dst] along the BFS-tree path. *)
+
+val spread : Structure.t -> float
+(** [max_i B_i - min_i B_i]: the largest path Blech sum in the structure
+    (the quantity the max-path heuristic of the paper's refs [12,13]
+    thresholds). *)

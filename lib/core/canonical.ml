@@ -1,0 +1,54 @@
+let check_positive name v = if v <= 0. then invalid_arg ("Canonical: " ^ name)
+
+let star ~arms ~length ~width ~j =
+  if arms < 1 then invalid_arg "Canonical.star: arms < 1";
+  check_positive "length" length;
+  check_positive "width" width;
+  Structure.star ~center_degree:arms (fun _ ->
+      Structure.segment ~length ~width ~j ())
+
+let star_hub_stress material ~length ~j =
+  Material.beta material *. j *. length /. 2.
+
+let reservoir_line ~l_res ~length ~width ~j =
+  check_positive "l_res" l_res;
+  check_positive "length" length;
+  check_positive "width" width;
+  Structure.line
+    [
+      Structure.segment ~length:l_res ~width ~j:0. ();
+      Structure.segment ~length ~width ~j ();
+    ]
+
+let reservoir_peak_stress material ~l_res ~length ~j =
+  Material.beta material *. j *. length *. length /. (2. *. (length +. l_res))
+
+let reservoir_jl_boost ~l_res ~length = 1. +. (l_res /. length)
+
+let loaded_rail ~segments ~seg_length ~width ~j_feed =
+  if segments < 1 then invalid_arg "Canonical.loaded_rail: segments < 1";
+  check_positive "seg_length" seg_length;
+  check_positive "width" width;
+  let n = float_of_int segments in
+  Structure.line
+    (List.init segments (fun k ->
+         let j = j_feed *. float_of_int (segments - k) /. n in
+         Structure.segment ~length:seg_length ~width ~j ()))
+
+(* Theorem 2 specialised to the stepped-current rail, evaluated as the
+   explicit finite sums (an implementation independent of the BFS-based
+   solver, for cross-checking):
+     B_k   = j_feed l sum_{m<k} (n-m)/n
+     Q/A   = (1/n) sum_k [ j_k l/2 + B_k ]
+     sigma_feed = beta Q/A. *)
+let loaded_rail_feed_stress material ~segments ~seg_length ~j_feed =
+  let n = float_of_int segments in
+  let beta = Material.beta material in
+  let b = ref 0. in
+  let acc = ref 0. in
+  for k = 0 to segments - 1 do
+    let jk = j_feed *. float_of_int (segments - k) /. n in
+    acc := !acc +. ((jk *. seg_length /. 2.) +. !b);
+    b := !b +. (jk *. seg_length)
+  done;
+  beta *. !acc /. n

@@ -1,0 +1,60 @@
+(** Canonical test structures with closed-form steady-state answers.
+
+    The EM literature leans on a small family of topologies whose exact
+    stresses are derivable by hand; this module provides both the
+    structures and the hand-derived formulas, giving the solver a set of
+    analytically pinned references beyond the paper's two-segment example
+    (and giving users ready-made fixtures for their own calibrations).
+
+    All formulas assume the library's conventions: positive [j] is
+    electron flow along the reference direction, stresses in Pa. *)
+
+(** {1 Symmetric star}
+
+    [d] identical arms from a hub, each carrying current density [j]
+    {e outward}. By symmetry each arm behaves like an isolated segment:
+    hub stress [+beta j l / 2], tip stress [-beta j l / 2] — a star is
+    exactly as (im)mortal as its single arm, independent of [d]. *)
+
+val star : arms:int -> length:float -> width:float -> j:float -> Structure.t
+
+val star_hub_stress : Material.t -> length:float -> j:float -> float
+
+(** {1 Reservoir-loaded line (Lin & Oates style, paper refs [17,18])}
+
+    A passive reservoir (length [l_res], zero current) hanging off the
+    cathode of an active segment (length [l], current [j] flowing away
+    from the reservoir, equal widths). The reservoir absorbs back-flow
+    and lowers the cathode stress from [beta j l / 2] to
+
+    {v sigma_peak = beta j l^2 / (2 (l + l_res)) v}
+
+    so the effective critical product improves by [1 + l_res / l]. *)
+
+val reservoir_line :
+  l_res:float -> length:float -> width:float -> j:float -> Structure.t
+(** Node 0 is the reservoir end, node 1 the junction, node 2 the anode. *)
+
+val reservoir_peak_stress :
+  Material.t -> l_res:float -> length:float -> j:float -> float
+
+val reservoir_jl_boost : l_res:float -> length:float -> float
+(** The factor by which the reservoir raises the tolerable jl product:
+    [1 + l_res / length]. *)
+
+(** {1 Uniformly loaded rail (comb)}
+
+    A rail of [n] equal segments fed from node 0, with the current
+    stepping down linearly along the rail ([j_k = j (n - k + 1) / n] in
+    segment [k]) — the profile of a power rail feeding [n] identical
+    taps. The closed-form hub stress follows from Theorem 2 and is
+    exposed for tests as a finite sum. *)
+
+val loaded_rail :
+  segments:int -> seg_length:float -> width:float -> j_feed:float ->
+  Structure.t
+
+val loaded_rail_feed_stress :
+  Material.t -> segments:int -> seg_length:float -> j_feed:float -> float
+(** Stress at the fed end (node 0), by direct evaluation of Theorem 2's
+    sums for this current profile. *)

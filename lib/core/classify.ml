@@ -1,0 +1,52 @@
+type outcome = True_positive | True_negative | False_positive | False_negative
+
+type counts = { tp : int; tn : int; fp : int; fn : int }
+
+let outcome ~predicted_immortal ~actual_immortal =
+  match (predicted_immortal, actual_immortal) with
+  | true, true -> True_positive
+  | false, false -> True_negative
+  | true, false -> False_positive
+  | false, true -> False_negative
+
+let empty = { tp = 0; tn = 0; fp = 0; fn = 0 }
+
+let add c = function
+  | True_positive -> { c with tp = c.tp + 1 }
+  | True_negative -> { c with tn = c.tn + 1 }
+  | False_positive -> { c with fp = c.fp + 1 }
+  | False_negative -> { c with fn = c.fn + 1 }
+
+let add_pair c ~predicted_immortal ~actual_immortal =
+  add c (outcome ~predicted_immortal ~actual_immortal)
+
+let merge a b =
+  { tp = a.tp + b.tp; tn = a.tn + b.tn; fp = a.fp + b.fp; fn = a.fn + b.fn }
+
+let total c = c.tp + c.tn + c.fp + c.fn
+
+let accuracy c =
+  let t = total c in
+  if t = 0 then Float.nan else float_of_int (c.tp + c.tn) /. float_of_int t
+
+let false_positive_rate c =
+  let d = c.fp + c.tn in
+  if d = 0 then Float.nan else float_of_int c.fp /. float_of_int d
+
+let false_negative_rate c =
+  let d = c.fn + c.tp in
+  if d = 0 then Float.nan else float_of_int c.fn /. float_of_int d
+
+let of_arrays ~predicted ~actual =
+  if Array.length predicted <> Array.length actual then
+    invalid_arg "Classify.of_arrays: length mismatch";
+  let c = ref empty in
+  Array.iteri
+    (fun i p ->
+      c := add_pair !c ~predicted_immortal:p ~actual_immortal:actual.(i))
+    predicted;
+  !c
+
+let pp ppf c =
+  Format.fprintf ppf "TP=%d TN=%d FP=%d FN=%d (acc %.1f%%)" c.tp c.tn c.fp c.fn
+    (100. *. accuracy c)

@@ -1,0 +1,38 @@
+(** Confusion-matrix bookkeeping for filter comparisons (Tables II/III).
+
+    Following the paper's convention, {e positive} means "identified as
+    immortal" and the generalized test is treated as ground truth:
+    - TP: both the traditional Blech filter and the exact test say immortal;
+    - TN: both say (potentially) mortal;
+    - FP: Blech says immortal, exact says mortal (missed failure risk);
+    - FN: Blech says mortal, exact says immortal (overdesign). *)
+
+type outcome = True_positive | True_negative | False_positive | False_negative
+
+type counts = { tp : int; tn : int; fp : int; fn : int }
+
+val outcome : predicted_immortal:bool -> actual_immortal:bool -> outcome
+
+val empty : counts
+
+val add : counts -> outcome -> counts
+
+val add_pair : counts -> predicted_immortal:bool -> actual_immortal:bool -> counts
+
+val merge : counts -> counts -> counts
+
+val total : counts -> int
+
+val accuracy : counts -> float
+(** (tp + tn) / total; [nan] when empty. *)
+
+val false_positive_rate : counts -> float
+(** fp / (fp + tn); fraction of truly mortal segments that Blech clears. *)
+
+val false_negative_rate : counts -> float
+(** fn / (fn + tp); fraction of truly immortal segments Blech flags. *)
+
+val of_arrays : predicted:bool array -> actual:bool array -> counts
+(** Raises [Invalid_argument] on length mismatch. *)
+
+val pp : Format.formatter -> counts -> unit

@@ -1,0 +1,29 @@
+(** Electrically consistent current densities from nodal injections.
+
+    Given a structure's geometry and a set of electron-current injections
+    at its nodes (A; positive injects electrons into the structure, the
+    sum over all nodes must vanish), solves the nodal conductance system
+    [G V = -inj] with [g_e = w_e h_e / (rho l_e)] and assigns each segment
+    the Ohm's-law current density of Eq. (11),
+    [j_e = (V_head - V_tail) / (rho l_e)] (electron-flow sign convention).
+
+    Currents produced this way satisfy KCL at every uninjected node and
+    are cycle-consistent by construction, which is exactly the premise of
+    Theorem 1; the random-structure property tests and the synthetic
+    workload generators use this to manufacture physical test cases. *)
+
+type solution = {
+  voltages : float array;        (** node potentials, V, zero-mean gauge *)
+  structure : Structure.t;       (** input structure with [j] replaced *)
+}
+
+val solve :
+  ?tol:float -> Material.t -> Structure.t -> injections:float array -> solution
+(** Raises [Invalid_argument] when the structure is disconnected, the
+    injection vector has the wrong length, or the injections do not sum
+    to (numerically) zero. *)
+
+val injections_of : Material.t -> Structure.t -> float array
+(** Inverse check: the net electron current each node exchanges with the
+    outside world implied by the structure's current densities
+    (= {!Structure.kcl_imbalance} with flipped sign at each node). *)

@@ -1,0 +1,92 @@
+let current_slack material s =
+  let sol = Steady_state.solve material s in
+  let max_stress, _ = Steady_state.max_stress sol in
+  let threshold = Material.effective_critical_stress material in
+  if max_stress <= 0. then Float.infinity else threshold /. max_stress
+
+let width_slack material s =
+  let sol = Steady_state.solve material s in
+  let max_stress, _ = Steady_state.max_stress sol in
+  let threshold = Material.effective_critical_stress material in
+  if threshold <= 0. then Float.infinity
+  else Float.max 0. (max_stress /. threshold)
+
+(* d sigma_node / d j_k, from
+     sigma_i = beta (Q/A - B_i),
+     Q = sum_e w h (j_e l_e^2/2 + B_tail(e) l_e):
+   a tree edge k (child c_k) contributes sign_k l_k to every Blech sum in
+   the subtree of c_k, so
+     dQ/dj_k = w_k h_k l_k^2/2 + sign_k l_k * (edge volume with reference
+               tails inside subtree(c_k)),
+     dB_i/dj_k = sign_k l_k iff k lies on the tree path root -> i.
+   Chords only contribute their own Q term. *)
+let stress_gradient material s ~node =
+  if not (Structure.is_connected s) then
+    invalid_arg "Sensitivity.stress_gradient: disconnected structure";
+  if node < 0 || node >= Structure.num_nodes s then
+    invalid_arg "Sensitivity.stress_gradient: node out of range";
+  let g = Structure.graph s in
+  let beta = Material.beta material in
+  let reference =
+    match Ugraph.termini g with v :: _ -> v | [] -> 0
+  in
+  let tree = Traversal.bfs g ~root:reference in
+  let n = Structure.num_nodes s in
+  let m = Structure.num_segments s in
+  (* Edge-volume of each node's outgoing (reference-tail) edges, then
+     subtree-accumulate towards the root. *)
+  let volume_at = Array.make n 0. in
+  let total_volume = ref 0. in
+  for k = 0 to m - 1 do
+    let seg = Structure.seg s k in
+    let v = Structure.cross_section seg *. seg.Structure.length in
+    let e = Ugraph.edge g k in
+    volume_at.(e.Ugraph.tail) <- volume_at.(e.Ugraph.tail) +. v;
+    total_volume := !total_volume +. v
+  done;
+  let sub_volume = Array.copy volume_at in
+  let order = tree.Traversal.order in
+  for idx = Array.length order - 1 downto 1 do
+    let v = order.(idx) in
+    let p = tree.Traversal.parent_node.(v) in
+    sub_volume.(p) <- sub_volume.(p) +. sub_volume.(v)
+  done;
+  (* Tree edges on the path root -> node. *)
+  let on_path = Array.make m false in
+  let v = ref node in
+  while tree.Traversal.parent_edge.(!v) >= 0 do
+    on_path.(tree.Traversal.parent_edge.(!v)) <- true;
+    v := tree.Traversal.parent_node.(!v)
+  done;
+  Array.init m (fun k ->
+      let seg = Structure.seg s k in
+      let e = Ugraph.edge g k in
+      let wh = Structure.cross_section seg in
+      let l = seg.Structure.length in
+      let own_q = wh *. l *. l /. 2. in
+      (* Identify the child endpoint when k is a tree edge. *)
+      let child =
+        if tree.Traversal.parent_edge.(e.Ugraph.head) = k then Some e.Ugraph.head
+        else if tree.Traversal.parent_edge.(e.Ugraph.tail) = k then
+          Some e.Ugraph.tail
+        else None
+      in
+      match child with
+      | None -> beta *. own_q /. !total_volume (* chord *)
+      | Some c ->
+        let sign = if e.Ugraph.head = c then 1. else -1. in
+        let dq = own_q +. (sign *. l *. sub_volume.(c)) in
+        let db = if on_path.(k) then sign *. l else 0. in
+        beta *. ((dq /. !total_volume) -. db))
+
+let most_influential material s ~node n =
+  let grad = stress_gradient material s ~node in
+  let scored =
+    Array.to_list
+      (Array.mapi
+         (fun k dg ->
+           (k, Float.abs (dg *. (Structure.seg s k).Structure.current_density)))
+         grad)
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) scored in
+  List.filteri (fun i _ -> i < n) sorted

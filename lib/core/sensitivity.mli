@@ -1,0 +1,45 @@
+(** Stress sensitivities and fix guidance.
+
+    Because the steady-state node stresses of Theorem 2 are {e linear} in
+    the segment current densities, first-order design questions have
+    closed-form answers:
+
+    - {!current_slack}: the uniform current-scaling factor that brings
+      the structure exactly to the immortality threshold (all stresses
+      scale linearly with a global current multiplier);
+    - {!width_slack}: the uniform widening factor achieving the same at
+      fixed segment {e currents} (widening by [alpha] divides every
+      current density — hence every stress — by [alpha]);
+    - {!stress_gradient}: the exact gradient of one node's stress with
+      respect to every segment's current density, computed in O(|E|)
+      with a subtree aggregation over the BFS spanning tree — the
+      quantity an EM-aware optimizer trades against routing cost.
+
+    For meshes the gradient is taken at fixed spanning tree (the BFS tree
+    from the solution's reference node); it is exact for any perturbation
+    that keeps the currents cycle-consistent. *)
+
+val current_slack : Material.t -> Structure.t -> float
+(** [current_slack m s] is the largest [alpha] such that scaling every
+    current density by [alpha] keeps the structure immortal;
+    [> 1] means headroom, [< 1] means the structure is already mortal.
+    [infinity] when the maximum stress is non-positive (no tensile node:
+    no current scaling can nucleate a void). *)
+
+val width_slack : Material.t -> Structure.t -> float
+(** [width_slack m s]: uniform widening factor needed for immortality at
+    fixed currents; [<= 1] means already immortal. [infinity] when no
+    widening can help (max stress non-positive never happens here since
+    widening only shrinks positive stress; returns [max_stress /
+    threshold] clamped to [0] from below). *)
+
+val stress_gradient :
+  Material.t -> Structure.t -> node:int -> float array
+(** [stress_gradient m s ~node] returns [d sigma_node / d j_k] for every
+    segment [k] (Pa per A/m^2). Connected structures only. *)
+
+val most_influential :
+  Material.t -> Structure.t -> node:int -> int -> (int * float) list
+(** [most_influential m s ~node n] is the [n] segments with the largest
+    [|gradient| * |j|] contribution to the node's stress, descending —
+    the segments to reroute or widen first. *)

@@ -1,0 +1,119 @@
+type solution = {
+  reference : int;
+  node_stress : float array;
+  blech_sum : float array;
+  volume : float;
+  q : float;
+  beta : float;
+}
+
+let default_reference s =
+  match Ugraph.termini (Structure.graph s) with v :: _ -> v | [] -> 0
+
+(* Solve the component containing [reference]; nodes outside it get nan. *)
+let solve_component material s ~reference =
+  let g = Structure.graph s in
+  let n = Ugraph.num_nodes g in
+  let beta = Material.beta material in
+  let span = Spanning.of_bfs g ~root:reference in
+  let tree = span.Spanning.tree in
+  (* Step 1 (paper Sec. IV): Blech sums along the BFS tree. *)
+  let b = Array.make n Float.nan in
+  b.(reference) <- 0.;
+  ignore
+    (Traversal.fold_tree_edges tree ~init:() ~f:(fun () ~node ~parent ~edge_id ->
+         let seg = Structure.seg s edge_id in
+         let e = Ugraph.edge g edge_id in
+         let jhat =
+           if e.Ugraph.tail = parent then seg.Structure.current_density
+           else -.seg.Structure.current_density
+         in
+         b.(node) <- b.(parent) +. (jhat *. seg.Structure.length)));
+  (* Step 2: A and Q over every edge of the component (chords included).
+     The integral of sigma over a segment is orientation-independent, so
+     each edge is integrated from its reference tail with its own j. *)
+  let volume = ref 0. and q = ref 0. in
+  for k = 0 to Ugraph.num_edges g - 1 do
+    let e = Ugraph.edge g k in
+    if tree.Traversal.reached.(e.Ugraph.tail) then begin
+      let seg = Structure.seg s k in
+      let wh = Structure.cross_section seg in
+      let l = seg.Structure.length in
+      let j = seg.Structure.current_density in
+      volume := !volume +. (wh *. l);
+      q := !q +. (wh *. ((j *. l *. l /. 2.) +. (b.(e.Ugraph.tail) *. l)))
+    end
+  done;
+  (* Step 3: node stresses. *)
+  let q_over_a = !q /. !volume in
+  let node_stress =
+    Array.map
+      (fun bi -> if Float.is_nan bi then Float.nan else beta *. (q_over_a -. bi))
+      b
+  in
+  { reference; node_stress; blech_sum = b; volume = !volume; q = !q; beta }
+
+let solve ?reference material s =
+  if not (Structure.is_connected s) then
+    invalid_arg
+      "Steady_state.solve: structure is disconnected; use solve_components";
+  let reference =
+    match reference with
+    | Some r ->
+      if r < 0 || r >= Structure.num_nodes s then
+        invalid_arg "Steady_state.solve: reference out of range";
+      r
+    | None -> default_reference s
+  in
+  solve_component material s ~reference
+
+let solve_components material s =
+  let comps = Components.compute (Structure.graph s) in
+  let solutions =
+    Array.init comps.Components.count (fun c ->
+        match Components.nodes_of comps c with
+        | [] -> assert false
+        | root :: _ -> solve_component material s ~reference:root)
+  in
+  (solutions, comps.Components.node_component)
+
+let segment_stress sol s k =
+  let tail, head = Structure.endpoints s k in
+  (sol.node_stress.(tail), sol.node_stress.(head))
+
+let extreme_stress cmp sol =
+  let best = ref (-1) in
+  Array.iteri
+    (fun i v ->
+      if not (Float.is_nan v) then
+        if !best < 0 || cmp v sol.node_stress.(!best) then best := i)
+    sol.node_stress;
+  if !best < 0 then invalid_arg "Steady_state: empty solution";
+  (sol.node_stress.(!best), !best)
+
+let max_stress sol = extreme_stress ( > ) sol
+
+let min_stress sol = extreme_stress ( < ) sol
+
+let stress_at sol s ~seg ~x =
+  let segment = Structure.seg s seg in
+  if x < 0. || x > segment.Structure.length then
+    invalid_arg "Steady_state.stress_at: x outside the segment";
+  let tail, _ = Structure.endpoints s seg in
+  sol.node_stress.(tail) -. (sol.beta *. segment.Structure.current_density *. x)
+
+let mass_residual sol s =
+  let acc = ref 0. in
+  let sigma_scale = ref 0. in
+  for k = 0 to Structure.num_segments s - 1 do
+    let segment = Structure.seg s k in
+    let st, sh = segment_stress sol s k in
+    if not (Float.is_nan st || Float.is_nan sh) then begin
+      acc :=
+        !acc
+        +. Structure.cross_section segment *. segment.Structure.length
+           *. (st +. sh) /. 2.;
+      sigma_scale := Float.max !sigma_scale (Float.max (Float.abs st) (Float.abs sh))
+    end
+  done;
+  !acc /. Float.max 1e-300 (sol.volume *. Float.max !sigma_scale 1e-30)

@@ -1,0 +1,58 @@
+(** Linear-time steady-state EM stress analysis (paper §III-IV).
+
+    For a connected structure, the steady-state stress at node [i] is
+
+    {v sigma^i = beta * (Q / A - B_i) v}
+
+    where [B_i] is the signed Blech sum of [j*l] along the spanning-tree
+    path from the reference node to [i],
+    [A = sum_k w_k h_k l_k], and
+    [Q = sum_k w_k h_k (jhat_k l_k^2 / 2 + B_{tail(k)} l_k)].
+
+    Everything is computed in a single BFS pass plus one sweep over the
+    edges: O(|V| + |E|) time, O(|V|) space. Meshes are handled through a
+    spanning tree (Theorem 1); chord segments still contribute to [A] and
+    [Q]. The solution is independent of the reference node and of the
+    spanning tree whenever the prescribed currents are cycle-consistent
+    (which {!Structure.validate} checks). *)
+
+type solution = {
+  reference : int;             (** reference node [v_1] *)
+  node_stress : float array;   (** [sigma^i], Pa, indexed by node *)
+  blech_sum : float array;     (** [B_i], A/m, indexed by node *)
+  volume : float;              (** [A], m^3 *)
+  q : float;                   (** [Q], A*m^2 *)
+  beta : float;                (** Pa/(A/m), copied from the material *)
+}
+
+val solve : ?reference:int -> Material.t -> Structure.t -> solution
+(** Raises [Invalid_argument] if the structure is not connected (solve
+    components independently via {!solve_components}) or [reference] is
+    out of range. The default reference is the lowest-numbered terminus
+    (any node when the structure has no terminus). *)
+
+val solve_components : Material.t -> Structure.t -> solution array * int array
+(** [solve_components m s] solves each connected component separately
+    (each conserves its own mass). Returns the per-component solutions and
+    a map from node to component index. Stress arrays in each solution are
+    still indexed by the {e global} node id; entries for nodes outside the
+    component are [nan]. *)
+
+val segment_stress : solution -> Structure.t -> int -> float * float
+(** [(sigma_tail, sigma_head)] at a segment's endpoints; by Corollary 2
+    the extreme stresses of the segment are attained there. *)
+
+val max_stress : solution -> float * int
+(** Largest node stress and the node attaining it. *)
+
+val min_stress : solution -> float * int
+
+val stress_at : solution -> Structure.t -> seg:int -> x:float -> float
+(** Stress at local coordinate [x] (from the segment's tail) via Lemma 1:
+    [sigma(x) = sigma_tail - beta j x]. Raises [Invalid_argument] when [x]
+    is outside [0, length]. *)
+
+val mass_residual : solution -> Structure.t -> float
+(** [sum_k w_k h_k l_k (sigma_tail + sigma_head) / 2] — the discrete form
+    of Lemma 3's conservation integral, which the exact solution makes 0;
+    exposed for tests (returns the value normalized by [A * max |sigma|]). *)

@@ -1,0 +1,116 @@
+module M = Em_core.Material
+module St = Em_core.Structure
+module Im = Em_core.Immortality
+module Bl = Em_core.Blech
+module Cl = Em_core.Classify
+module Maxpath = Em_core.Baseline_maxpath
+
+type segment_record = {
+  layer : int;
+  length : float;
+  j : float;
+  blech_immortal : bool;
+  exact_immortal : bool;
+  maxpath_immortal : bool;
+}
+
+type result = {
+  counts : Cl.counts;
+  maxpath_counts : Cl.counts option;
+  segments : segment_record array;
+  num_structures : int;
+  num_segments : int;
+  solve_time : float;
+  extract_time : float;
+  analysis_time : float;
+}
+
+(* Per-structure analysis is pure, so it parallelizes over domains; the
+   per-structure partial results are merged in input order afterwards. *)
+let analyze_one material with_maxpath (es : Extract.em_structure) =
+  let s = es.Extract.structure in
+  let report = Im.check material s in
+  let blech = Bl.filter material s in
+  let maxpath =
+    if with_maxpath then Maxpath.segment_immortal material s else [||]
+  in
+  let n = St.num_segments s in
+  let records =
+    Array.init n (fun k ->
+        let seg = St.seg s k in
+        let exact = report.Im.segment_immortal.(k) in
+        {
+          layer = es.Extract.layer_level;
+          length = seg.St.length;
+          j = seg.St.current_density;
+          blech_immortal = blech.(k);
+          exact_immortal = exact;
+          maxpath_immortal = (if with_maxpath then maxpath.(k) else exact);
+        })
+  in
+  records
+
+let run_on_structures ?(material = M.cu_dac21) ?(with_maxpath = false) ?jobs
+    structures =
+  let t0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
+  let per_structure =
+    Numerics.Parallel.map ?jobs
+      (analyze_one material with_maxpath)
+      (Array.of_list structures)
+  in
+  let counts = ref Cl.empty in
+  let maxpath_counts = ref Cl.empty in
+  let num_segments = ref 0 in
+  Array.iter
+    (fun records ->
+      Array.iter
+        (fun r ->
+          counts :=
+            Cl.add_pair !counts ~predicted_immortal:r.blech_immortal
+              ~actual_immortal:r.exact_immortal;
+          if with_maxpath then
+            maxpath_counts :=
+              Cl.add_pair !maxpath_counts
+                ~predicted_immortal:r.maxpath_immortal
+                ~actual_immortal:r.exact_immortal;
+          incr num_segments)
+        records)
+    per_structure;
+  let segments = Array.concat (Array.to_list per_structure) in
+  (* Report wall time when parallel (CPU time would double-count the
+     workers), CPU time when sequential. *)
+  let analysis_time =
+    match jobs with
+    | Some j when j > 1 -> Unix.gettimeofday () -. wall0
+    | _ -> Sys.time () -. t0
+  in
+  {
+    counts = !counts;
+    maxpath_counts = (if with_maxpath then Some !maxpath_counts else None);
+    segments;
+    num_structures = List.length structures;
+    num_segments = !num_segments;
+    solve_time = 0.;
+    extract_time = 0.;
+    analysis_time;
+  }
+
+let run ?material ?with_maxpath ?jobs (grid : Pdn.Grid_gen.generated) =
+  let t0 = Sys.time () in
+  let sol = Spice.Mna.solve grid.Pdn.Grid_gen.netlist in
+  let t1 = Sys.time () in
+  let structures = Extract.extract ~tech:grid.Pdn.Grid_gen.tech sol in
+  let t2 = Sys.time () in
+  let result = run_on_structures ?material ?with_maxpath ?jobs structures in
+  { result with solve_time = t1 -. t0; extract_time = t2 -. t1 }
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "@[<v>%d structures, %d segments@,Blech vs exact: %a@,\
+     solve %.2fs, extract %.2fs, EM analysis %.2fs@]"
+    r.num_structures r.num_segments Cl.pp r.counts r.solve_time r.extract_time
+    r.analysis_time;
+  match r.maxpath_counts with
+  | Some c -> Format.fprintf ppf "@,max-path vs exact: %a" Cl.pp c
+  | None -> ()

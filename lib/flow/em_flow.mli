@@ -1,0 +1,51 @@
+(** End-to-end EM immortality checking flow (the evaluation pipeline of
+    Tables II/III): solve the grid, extract per-layer structures, run the
+    exact linear-time test and the traditional Blech filter on every
+    segment, and tabulate the confusion matrix with the exact test as
+    ground truth.
+
+    The optional max-path heuristic (refs [12,13]) can be run
+    side-by-side as an ablation. *)
+
+type segment_record = {
+  layer : int;         (** metal level *)
+  length : float;      (** m *)
+  j : float;           (** signed electron current density, A/m^2 *)
+  blech_immortal : bool;
+  exact_immortal : bool;
+  maxpath_immortal : bool; (** equals [exact] when the ablation is off *)
+}
+
+type result = {
+  counts : Em_core.Classify.counts;          (** Blech vs exact *)
+  maxpath_counts : Em_core.Classify.counts option;
+  segments : segment_record array;
+  num_structures : int;
+  num_segments : int;
+  solve_time : float;    (** DC operating point, CPU s *)
+  extract_time : float;  (** structure extraction, CPU s *)
+  analysis_time : float; (** EM analysis of all structures, CPU s *)
+}
+
+val run :
+  ?material:Em_core.Material.t ->
+  ?with_maxpath:bool ->
+  ?jobs:int ->
+  Pdn.Grid_gen.generated ->
+  result
+(** Solves the DC operating point internally. [material] defaults to
+    {!Em_core.Material.cu_dac21}; [with_maxpath] to [false]; [jobs]
+    parallelizes the per-structure EM analysis over that many domains
+    (default 1; the DC solve stays sequential). With [jobs > 1] the
+    reported [analysis_time] is wall-clock rather than CPU time. *)
+
+val run_on_structures :
+  ?material:Em_core.Material.t ->
+  ?with_maxpath:bool ->
+  ?jobs:int ->
+  Extract.em_structure list ->
+  result
+(** The EM-analysis half only, for callers that already solved and
+    extracted (solve/extract times are 0). *)
+
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,26 @@
+(** EM structure extraction from a solved power grid.
+
+    Cu dual-damascene barrier/capping layers block atomic flux through
+    vias (paper §V), so EM is analyzed {e per layer}: the intra-layer
+    resistor subgraph of each metal layer splits into connected
+    components, each becoming one {!Em_core.Structure.t}. Geometry comes
+    from the IBM-format node coordinates plus the technology's layer
+    thickness and resistivity; the width is inferred from each resistor
+    ([w = rho l / (R h)], which reproduces the tech width on as-generated
+    grids and tracks repairs that rescale resistances). The current
+    density of a segment follows Eq. (11)'s electron-flow convention,
+    [j = I_electron(tail->head) / (w h) = (v_head - v_tail) / (R w h)]. *)
+
+type em_structure = {
+  layer_level : int;            (** metal level the structure lives on *)
+  structure : Em_core.Structure.t;
+  node_names : string array;    (** per structure node: netlist name *)
+  element_ids : int array;      (** per segment: netlist element index *)
+}
+
+val extract : tech:Pdn.Tech.t -> Spice.Mna.solution -> em_structure list
+(** Skips resistors that are vias (endpoints on different layers), shorts
+    (zero ohms), or touch non-geometric nodes (pads/package). Components
+    with fewer than two nodes are dropped. *)
+
+val total_segments : em_structure list -> int

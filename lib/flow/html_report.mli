@@ -1,0 +1,23 @@
+(** Self-contained HTML sign-off reports: one file with the confusion
+    matrix, per-layer breakdown, endangered-structure ranking, repair
+    plan, and an inline SVG scatter — everything a reviewer needs without
+    any tooling. Written by [emcheck analyze --html]. *)
+
+val page :
+  title:string ->
+  ?material:Em_core.Material.t ->
+  tech:Pdn.Tech.t ->
+  structures:Extract.em_structure list ->
+  Em_flow.result ->
+  string
+(** Render the full report as an HTML document string. *)
+
+val write :
+  string ->
+  title:string ->
+  ?material:Em_core.Material.t ->
+  tech:Pdn.Tech.t ->
+  structures:Extract.em_structure list ->
+  Em_flow.result ->
+  unit
+(** [write path ...]. *)

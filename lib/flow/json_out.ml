@@ -1,0 +1,132 @@
+module Cl = Em_core.Classify
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then begin
+      (* Shortest representation that round-trips. *)
+      let short = Printf.sprintf "%.12g" f in
+      if float_of_string short = f then Buffer.add_string buf short
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    end
+    else Buffer.add_string buf "null"
+  | String s -> escape_into buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_into buf key;
+        Buffer.add_char buf ':';
+        emit buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  emit buf json;
+  Buffer.contents buf
+
+let to_channel oc json = output_string oc (to_string json)
+
+let of_counts (c : Cl.counts) =
+  Obj
+    [
+      ("tp", Int c.Cl.tp); ("tn", Int c.Cl.tn); ("fp", Int c.Cl.fp);
+      ("fn", Int c.Cl.fn); ("total", Int (Cl.total c));
+      ("accuracy", Float (Cl.accuracy c));
+    ]
+
+let of_flow_result (r : Em_flow.result) =
+  Obj
+    [
+      ("structures", Int r.Em_flow.num_structures);
+      ("segments", Int r.Em_flow.num_segments);
+      ("blech_vs_exact", of_counts r.Em_flow.counts);
+      ( "maxpath_vs_exact",
+        match r.Em_flow.maxpath_counts with
+        | Some c -> of_counts c
+        | None -> Null );
+      ( "timings_s",
+        Obj
+          [
+            ("solve", Float r.Em_flow.solve_time);
+            ("extract", Float r.Em_flow.extract_time);
+            ("em_analysis", Float r.Em_flow.analysis_time);
+          ] );
+    ]
+
+let of_layer_stats stats =
+  List
+    (List.map
+       (fun (st : Layer_report.layer_stats) ->
+         Obj
+           [
+             ("level", Int st.Layer_report.level);
+             ("structures", Int st.Layer_report.structures);
+             ("segments", Int st.Layer_report.segments);
+             ("total_length_m", Float st.Layer_report.total_length);
+             ("max_abs_j", Float st.Layer_report.max_abs_j);
+             ("max_jl", Float st.Layer_report.max_jl);
+             ("max_stress_pa", Float st.Layer_report.max_stress);
+             ("mortal_segments", Int st.Layer_report.mortal_segments);
+             ("counts", of_counts st.Layer_report.counts);
+           ])
+       stats)
+
+let of_fixer_plan (p : Fixer.plan) =
+  Obj
+    [
+      ("mortal_structures", Int p.Fixer.mortal_structures);
+      ("immortal_structures", Int p.Fixer.immortal_structures);
+      ("total_extra_area_m2", Float p.Fixer.total_extra_area);
+      ( "fixes",
+        List
+          (List.map
+             (fun (f : Fixer.fix) ->
+               Obj
+                 [
+                   ("index", Int f.Fixer.index);
+                   ("layer", Int f.Fixer.layer);
+                   ("segments", Int f.Fixer.segments);
+                   ("max_stress_pa", Float f.Fixer.max_stress);
+                   ("widen", Float f.Fixer.widen);
+                   ("extra_area_m2", Float f.Fixer.extra_area);
+                 ])
+             p.Fixer.fixes) );
+    ]

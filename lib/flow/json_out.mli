@@ -1,0 +1,31 @@
+(** Minimal JSON emission for machine-readable reports (no external
+    dependencies; enough for dashboards and regression tracking to
+    consume `emcheck` results). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Floats use shortest round-trip
+    formatting; non-finite floats render as [null] (JSON has no NaN). *)
+
+val to_channel : out_channel -> t -> unit
+
+(** {1 Report serializers} *)
+
+val of_counts : Em_core.Classify.counts -> t
+
+val of_flow_result : Em_flow.result -> t
+(** Confusion matrix, structure/segment counts and timings; the
+    per-segment list is summarized (it can be millions long — use
+    {!Scatter.write_csv} for the raw series). *)
+
+val of_layer_stats : Layer_report.layer_stats list -> t
+
+val of_fixer_plan : Fixer.plan -> t

@@ -1,0 +1,32 @@
+module St = Em_core.Structure
+module Ss = Em_core.Steady_state
+
+type sample = { seg : int; x : float; stress : float }
+
+let sample ?(points_per_segment = 11) sol s =
+  if points_per_segment < 2 then invalid_arg "Profiles.sample: need >= 2 points";
+  let out = ref [] in
+  for k = St.num_segments s - 1 downto 0 do
+    let l = (St.seg s k).St.length in
+    for i = points_per_segment - 1 downto 0 do
+      let x = l *. float_of_int i /. float_of_int (points_per_segment - 1) in
+      out := { seg = k; x; stress = Ss.stress_at sol s ~seg:k ~x } :: !out
+    done
+  done;
+  !out
+
+let to_csv samples =
+  let buf = Buffer.create (List.length samples * 24) in
+  Buffer.add_string buf "seg,x_um,stress_mpa\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.6g,%.6g\n" p.seg (p.x *. 1e6) (p.stress *. 1e-6)))
+    samples;
+  Buffer.contents buf
+
+let write_csv ?points_per_segment path sol s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_csv (sample ?points_per_segment sol s)))

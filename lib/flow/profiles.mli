@@ -1,0 +1,22 @@
+(** Full stress profiles along a structure (the data behind Fig. 6's
+    colour maps): the steady-state stress is piecewise linear (Lemma 1),
+    so sampling between the node values is exact. *)
+
+type sample = {
+  seg : int;
+  x : float;        (** local coordinate from the segment's tail, m *)
+  stress : float;   (** Pa *)
+}
+
+val sample :
+  ?points_per_segment:int ->
+  Em_core.Steady_state.solution -> Em_core.Structure.t -> sample list
+(** [points_per_segment] >= 2 (default 11), endpoints included, segments
+    in id order. *)
+
+val to_csv : sample list -> string
+(** Header [seg,x_um,stress_mpa]. *)
+
+val write_csv :
+  ?points_per_segment:int ->
+  string -> Em_core.Steady_state.solution -> Em_core.Structure.t -> unit

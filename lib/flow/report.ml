@@ -1,0 +1,93 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Report.add_row: column count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+        List.iteri
+          (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+          cells)
+    rows;
+  let buf = Buffer.create 1024 in
+  let line () =
+    Buffer.add_char buf '+';
+    for i = 0 to ncols - 1 do
+      Buffer.add_string buf (String.make (widths.(i) + 2) '-');
+      Buffer.add_char buf '+'
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells ~header =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let pad = widths.(i) - String.length c in
+        let cell =
+          if header then
+            (* Headers centred. *)
+            Printf.sprintf " %s%s%s " (String.make (pad / 2) ' ') c
+              (String.make (pad - (pad / 2)) ' ')
+          else begin
+            (* Text left-aligned, numbers right-aligned. *)
+            let left_align =
+              String.length c > 0
+              && (match c.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+            in
+            if left_align then Printf.sprintf " %s%s " c (String.make pad ' ')
+            else Printf.sprintf " %s%s " (String.make pad ' ') c
+          end
+        in
+        Buffer.add_string buf cell;
+        Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  line ();
+  emit t.headers ~header:true;
+  line ();
+  List.iter
+    (function
+      | Separator -> line ()
+      | Cells cells -> emit cells ~header:false)
+    rows;
+  line ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let int_cell n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_cell ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let seconds_cell s =
+  if s < 0.001 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.0fms" (s *. 1e3)
+  else if s < 100. then Printf.sprintf "%.1fs" s
+  else Printf.sprintf "%.0fs" s
+
+let pct_cell x = Printf.sprintf "%.1f%%" (100. *. x)

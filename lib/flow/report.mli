@@ -1,0 +1,30 @@
+(** Plain-text tables for the experiment harness: fixed-width columns,
+    right-aligned numbers, in the style of the paper's Tables I-III. *)
+
+type t
+
+val create : string list -> t
+(** [create headers]. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on column-count mismatch. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+(** {1 Cell formatting helpers} *)
+
+val int_cell : int -> string
+(** Thousands-separated decimal ("1,648,621"). *)
+
+val float_cell : ?decimals:int -> float -> string
+
+val seconds_cell : float -> string
+(** "12.3s" / "380ms" style. *)
+
+val pct_cell : float -> string
+(** [0.153] -> "15.3%". *)

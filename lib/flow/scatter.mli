@@ -1,0 +1,27 @@
+(** Scatter data for Figs. 7 and 8: current density vs segment length,
+    with traditional-Blech correctness markers and the
+    [j l = (jl)_crit] frontier. *)
+
+type point = {
+  length_um : float;
+  j : float;          (** signed electron current density, A/m^2 *)
+  correct : bool;     (** traditional Blech agreed with the exact test *)
+}
+
+val of_result : Em_flow.result -> point array
+
+val summary : point array -> string
+(** One-line counts: total / correct / incorrect. *)
+
+val ascii :
+  ?width:int -> ?height:int -> jl_crit:float -> point array -> string
+(** Log-log density plot of |j| vs length: ['.'] cells hold only
+    correctly-filtered segments, ['x'] only misfiltered ones, ['#'] both;
+    ['+'] marks the critical contour [|j| l = (jl)_crit] where the cell
+    is empty. [jl_crit] in A/m. Defaults: 72x24 cells. *)
+
+val to_csv : point array -> string
+(** Header [length_um,j_A_per_m2,correct] followed by one row per point. *)
+
+val write_csv : string -> point array -> unit
+(** [write_csv path points]. *)

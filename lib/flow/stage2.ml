@@ -1,0 +1,132 @@
+module M = Em_core.Material
+module U = Em_core.Units
+module St = Em_core.Structure
+module Im = Em_core.Immortality
+module Bl = Em_core.Blech
+module Kor = Empde.Korhonen
+module Vg = Empde.Void_growth
+
+type verdict =
+  | Immortal
+  | Fails_within_lifetime of float
+  | Outlives_lifetime of float
+  | No_nucleation_observed
+
+type entry = {
+  index : int;
+  layer : int;
+  segments : int;
+  verdict : verdict;
+}
+
+type result = {
+  entries : entry list;
+  checked : int;
+  failing : int;
+  surviving : int;
+  lifetime : float;
+}
+
+(* Current density magnitude at the failing node: the drift feeding the
+   void, used for the growth phase. Take the largest |j| among incident
+   segments of the max-stress node. *)
+let drive_at_node s node =
+  let g = St.graph s in
+  let j = ref 0. in
+  Ugraph.iter_incident g node (fun ~edge_id ~neighbor:_ ->
+      j := Float.max !j (Float.abs (St.seg s edge_id).St.current_density));
+  !j
+
+let run ?(material = M.cu_dac21) ?(lifetime = U.years 10.)
+    ?(critical_void = 50e-9) ?(target_dx = U.um 2.) structures =
+  let entries = ref [] in
+  let checked = ref 0 and failing = ref 0 and surviving = ref 0 in
+  List.iteri
+    (fun index (es : Extract.em_structure) ->
+      let s = es.Extract.structure in
+      let report = Im.check material s in
+      let verdict =
+        if report.Im.structure_immortal then Immortal
+        else begin
+          incr checked;
+          (* March the transient long enough to cover the lifetime with
+             margin. *)
+          let options =
+            { Kor.default_options with Kor.max_steps = 300; growth = 1.3 }
+          in
+          let r = Kor.run_structure ~options ~target_dx material s in
+          match
+            Kor.time_to_critical r
+              ~threshold:(M.effective_critical_stress material)
+          with
+          | None -> No_nucleation_observed
+          | Some t_nuc ->
+            let j = drive_at_node s report.Im.max_node in
+            let growth = Vg.growth_time material ~j ~critical_void in
+            let ttf = t_nuc +. growth in
+            if ttf <= lifetime then begin
+              incr failing;
+              Fails_within_lifetime ttf
+            end
+            else begin
+              incr surviving;
+              Outlives_lifetime ttf
+            end
+        end
+      in
+      entries :=
+        {
+          index;
+          layer = es.Extract.layer_level;
+          segments = St.num_segments s;
+          verdict;
+        }
+        :: !entries)
+    structures;
+  {
+    entries = List.rev !entries;
+    checked = !checked;
+    failing = !failing;
+    surviving = !surviving;
+    lifetime;
+  }
+
+type workload = { exact_filter : int; blech_filter : int }
+
+let workload ?(material = M.cu_dac21) structures =
+  let exact = ref 0 and blech = ref 0 in
+  List.iter
+    (fun (es : Extract.em_structure) ->
+      let s = es.Extract.structure in
+      if not (Im.check material s).Im.structure_immortal then incr exact;
+      if Array.exists not (Bl.filter material s) then incr blech)
+    structures;
+  { exact_filter = !exact; blech_filter = !blech }
+
+let to_table result =
+  let t =
+    Report.create [ "layer"; "segments"; "stage-2 verdict"; "TTF (years)" ]
+  in
+  List.iter
+    (fun e ->
+      match e.verdict with
+      | Immortal -> ()
+      | v ->
+        let verdict_name, ttf =
+          match v with
+          | Immortal -> assert false
+          | Fails_within_lifetime t -> ("FAILS", Some t)
+          | Outlives_lifetime t -> ("outlives target", Some t)
+          | No_nucleation_observed -> ("no nucleation seen", None)
+        in
+        Report.add_row t
+          [
+            Printf.sprintf "M%d" e.layer;
+            Report.int_cell e.segments;
+            verdict_name;
+            (match ttf with
+            | Some t -> Printf.sprintf "%.2f" (t /. U.years 1.)
+            | None -> "-");
+          ])
+    result.entries;
+  t

@@ -1,0 +1,66 @@
+(** Stage-2 EM analysis: lifetime checking of the structures the
+    immortality filter could not clear.
+
+    The paper's methodology (§I) is two-stage: stage 1 filters immortal
+    wires with the (generalized) Blech criterion; stage 2 runs detailed
+    analysis on the rest to decide whether failure occurs {e within the
+    product lifetime}. This module implements stage 2 on top of the
+    transient Korhonen solver: for every mortal structure it computes the
+    void-nucleation time (first node to reach the critical stress) plus a
+    drift-growth phase ({!Empde.Void_growth}), and buckets the structure
+    against a lifetime target.
+
+    The stage-1 filter choice changes the stage-2 workload, which is the
+    practical cost of Blech false negatives: every FN is a wire
+    needlessly sent to this (much more expensive) analysis. {!workload}
+    quantifies that. *)
+
+type verdict =
+  | Immortal                  (** cleared by stage 1 *)
+  | Fails_within_lifetime of float  (** estimated TTF, s *)
+  | Outlives_lifetime of float      (** estimated TTF, s *)
+  | No_nucleation_observed
+      (** mortal at steady state but the transient horizon ended before
+          the threshold was crossed (very slow nucleation) *)
+
+type entry = {
+  index : int;           (** position in the input structure list *)
+  layer : int;
+  segments : int;
+  verdict : verdict;
+}
+
+type result = {
+  entries : entry list;
+  checked : int;          (** structures sent to transient analysis *)
+  failing : int;          (** within the lifetime *)
+  surviving : int;        (** mortal but outliving the lifetime *)
+  lifetime : float;       (** s *)
+}
+
+val run :
+  ?material:Em_core.Material.t ->
+  ?lifetime:float ->
+  ?critical_void:float ->
+  ?target_dx:float ->
+  Extract.em_structure list ->
+  result
+(** [lifetime] defaults to 10 years; [critical_void] to 50 nm;
+    [target_dx] to 2 um (stage 2 is per-structure transient PDE, so the
+    mesh is kept coarse). *)
+
+type workload = {
+  exact_filter : int;   (** structures stage 2 must analyze with the
+                            generalized criterion as stage 1 *)
+  blech_filter : int;   (** same with the traditional per-segment filter
+                            (a structure is sent when any segment fails) *)
+}
+
+val workload :
+  ?material:Em_core.Material.t -> Extract.em_structure list -> workload
+(** How many structures each stage-1 filter forwards to stage 2: the
+    overdesign cost of traditional-Blech false negatives, and the risk of
+    its false positives (structures it wrongly clears are {e missing}
+    from its count). *)
+
+val to_table : result -> Report.t

@@ -1,0 +1,163 @@
+type t = { width : int; height : int; buf : Buffer.t }
+
+let create ~width ~height =
+  { width; height; buf = Buffer.create 4096 }
+
+let addf t fmt = Printf.ksprintf (Buffer.add_string t.buf) fmt
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rect t ~x ~y ~w ~h ?(rx = 0.) ~fill () =
+  addf t "<rect x='%.2f' y='%.2f' width='%.2f' height='%.2f' rx='%.2f' fill='%s'/>"
+    x y w h rx fill
+
+let line t ~x1 ~y1 ~x2 ~y2 ~stroke ?(width = 1.) ?dash () =
+  addf t "<line x1='%.2f' y1='%.2f' x2='%.2f' y2='%.2f' stroke='%s' stroke-width='%.2f'%s/>"
+    x1 y1 x2 y2 stroke width
+    (match dash with
+    | Some d -> Printf.sprintf " stroke-dasharray='%s'" d
+    | None -> "")
+
+let circle t ~cx ~cy ~r ~fill =
+  addf t "<circle cx='%.2f' cy='%.2f' r='%.2f' fill='%s'/>" cx cy r fill
+
+let text t ~x ~y ?(size = 11) ?(anchor = "start") ?(fill = "#333") s =
+  addf t
+    "<text x='%.2f' y='%.2f' font-size='%d' text-anchor='%s' fill='%s' \
+     font-family='sans-serif'>%s</text>"
+    x y size anchor fill (escape s)
+
+let render t =
+  Printf.sprintf
+    "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d' \
+     viewBox='0 0 %d %d'>%s</svg>"
+    t.width t.height t.width t.height (Buffer.contents t.buf)
+
+(* ------------------------------------------------------------------ *)
+(* Scatter                                                             *)
+
+type scatter_config = {
+  width : int;
+  height : int;
+  title : string;
+  x_label : string;
+  y_label : string;
+  jl_crit : float option;
+}
+
+let nice_ticks lo hi =
+  (* Integer powers of ten within [lo, hi] (log10 space). *)
+  let first = int_of_float (Float.ceil lo) in
+  let last = int_of_float (Float.floor hi) in
+  List.init (max 0 (last - first + 1)) (fun i -> float_of_int (first + i))
+
+let scatter cfg (points : Scatter.point array) =
+  let svg = create ~width:cfg.width ~height:cfg.height in
+  rect svg ~x:0. ~y:0. ~w:(float_of_int cfg.width) ~h:(float_of_int cfg.height)
+    ~fill:"#ffffff" ();
+  if Array.length points = 0 then begin
+    text svg ~x:(float_of_int cfg.width /. 2.) ~y:(float_of_int cfg.height /. 2.)
+      ~anchor:"middle" "(no points)";
+    render svg
+  end
+  else begin
+    let margin_l = 64. and margin_r = 16. and margin_t = 32. and margin_b = 46. in
+    let plot_w = float_of_int cfg.width -. margin_l -. margin_r in
+    let plot_h = float_of_int cfg.height -. margin_t -. margin_b in
+    let log_l (p : Scatter.point) = log10 (Float.max 1e-3 p.Scatter.length_um) in
+    let log_j (p : Scatter.point) = log10 (Float.max 1e3 (Float.abs p.Scatter.j)) in
+    let xmin = ref infinity and xmax = ref neg_infinity in
+    let ymin = ref infinity and ymax = ref neg_infinity in
+    Array.iter
+      (fun p ->
+        xmin := Float.min !xmin (log_l p);
+        xmax := Float.max !xmax (log_l p);
+        ymin := Float.min !ymin (log_j p);
+        ymax := Float.max !ymax (log_j p))
+      points;
+    let pad lo hi = if hi -. lo < 0.5 then (lo -. 0.3, hi +. 0.3) else (lo -. 0.1, hi +. 0.1) in
+    let xmin, xmax = pad !xmin !xmax and ymin, ymax = pad !ymin !ymax in
+    let px x = margin_l +. ((x -. xmin) /. (xmax -. xmin) *. plot_w) in
+    let py y = margin_t +. plot_h -. ((y -. ymin) /. (ymax -. ymin) *. plot_h) in
+    (* Frame and grid. *)
+    rect svg ~x:margin_l ~y:margin_t ~w:plot_w ~h:plot_h ~fill:"#f8f9fa" ();
+    List.iter
+      (fun tx ->
+        line svg ~x1:(px tx) ~y1:margin_t ~x2:(px tx) ~y2:(margin_t +. plot_h)
+          ~stroke:"#dddddd" ();
+        text svg ~x:(px tx) ~y:(margin_t +. plot_h +. 16.) ~anchor:"middle"
+          (Printf.sprintf "1e%g" tx))
+      (nice_ticks xmin xmax);
+    List.iter
+      (fun ty ->
+        line svg ~x1:margin_l ~y1:(py ty) ~x2:(margin_l +. plot_w) ~y2:(py ty)
+          ~stroke:"#dddddd" ();
+        text svg ~x:(margin_l -. 6.) ~y:(py ty +. 4.) ~anchor:"end"
+          (Printf.sprintf "1e%g" ty))
+      (nice_ticks ymin ymax);
+    (* Critical contour: log j = log(jl_crit / 1e-6) - log l_um. *)
+    (match cfg.jl_crit with
+    | Some jl ->
+      let c = log10 (jl /. 1e-6) in
+      (* Clip the segment y = c - x to the plot box. *)
+      let candidates =
+        [ (xmin, c -. xmin); (xmax, c -. xmax); (c -. ymin, ymin); (c -. ymax, ymax) ]
+        |> List.filter (fun (x, y) ->
+               x >= xmin -. 1e-9 && x <= xmax +. 1e-9 && y >= ymin -. 1e-9
+               && y <= ymax +. 1e-9)
+      in
+      (match candidates with
+      | (x1, y1) :: rest ->
+        let x2, y2 =
+          match List.rev rest with (p : float * float) :: _ -> p | [] -> (x1, y1)
+        in
+        line svg ~x1:(px x1) ~y1:(py y1) ~x2:(px x2) ~y2:(py y2)
+          ~stroke:"#2b2b2b" ~width:1.5 ~dash:"6,4" ();
+        text svg
+          ~x:(px ((x1 +. x2) /. 2.) +. 6.)
+          ~y:(py ((y1 +. y2) /. 2.) -. 6.)
+          ~size:10 "jl = (jl)_crit"
+      | [] -> ())
+    | None -> ());
+    (* Points: draw correct first so misfiltered stay visible on top.
+       Cap the rendered count to keep files tractable. *)
+    let cap = 8000 in
+    let step = max 1 (Array.length points / cap) in
+    let draw want =
+      Array.iteri
+        (fun i p ->
+          if i mod step = 0 && p.Scatter.correct = want then
+            circle svg ~cx:(px (log_l p)) ~cy:(py (log_j p)) ~r:1.6
+              ~fill:(if want then "#3b82b5" else "#d23f31"))
+        points
+    in
+    draw true;
+    draw false;
+    (* Labels and legend. *)
+    text svg ~x:(margin_l +. (plot_w /. 2.)) ~y:18. ~anchor:"middle" ~size:13
+      cfg.title;
+    text svg ~x:(margin_l +. (plot_w /. 2.))
+      ~y:(float_of_int cfg.height -. 8.)
+      ~anchor:"middle" cfg.x_label;
+    text svg ~x:14. ~y:(margin_t -. 8.) cfg.y_label;
+    circle svg ~cx:(margin_l +. plot_w -. 130.) ~cy:(margin_t +. 12.) ~r:3.
+      ~fill:"#3b82b5";
+    text svg ~x:(margin_l +. plot_w -. 122.) ~y:(margin_t +. 16.) ~size:10
+      "correct";
+    circle svg ~cx:(margin_l +. plot_w -. 66.) ~cy:(margin_t +. 12.) ~r:3.
+      ~fill:"#d23f31";
+    text svg ~x:(margin_l +. plot_w -. 58.) ~y:(margin_t +. 16.) ~size:10
+      "misfiltered";
+    render svg
+  end

@@ -1,0 +1,44 @@
+(** Minimal SVG emission (no dependencies): enough for the scatter and
+    profile figures the HTML report embeds. Coordinates are in user
+    units; the plot helpers handle axes, log scaling and legends. *)
+
+type t
+(** An SVG document under construction. *)
+
+val create : width:int -> height:int -> t
+
+val rect :
+  t -> x:float -> y:float -> w:float -> h:float -> ?rx:float ->
+  fill:string -> unit -> unit
+
+val line :
+  t -> x1:float -> y1:float -> x2:float -> y2:float -> stroke:string ->
+  ?width:float -> ?dash:string -> unit -> unit
+
+val circle : t -> cx:float -> cy:float -> r:float -> fill:string -> unit
+
+val text :
+  t -> x:float -> y:float -> ?size:int -> ?anchor:string -> ?fill:string ->
+  string -> unit
+
+val render : t -> string
+(** The [<svg>...</svg>] element (embeddable in HTML). *)
+
+(** {1 Scatter plot} *)
+
+type scatter_config = {
+  width : int;
+  height : int;
+  title : string;
+  x_label : string;
+  y_label : string;
+  jl_crit : float option;
+      (** when set, draw the [|j| l = (jl)_crit] frontier (A/m) assuming
+          x = length in um and y = |j| in A/m^2, both log-scaled *)
+}
+
+val scatter : scatter_config -> Scatter.point array -> string
+(** Log-log scatter of |j| vs length; correct points in the accent
+    colour, misfiltered in red, with axes, tick labels and the critical
+    contour. Returns an [<svg>] element; degrades to a placeholder for
+    empty input. *)

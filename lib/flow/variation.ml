@@ -1,0 +1,104 @@
+module M = Em_core.Material
+module St = Em_core.Structure
+module Ss = Em_core.Steady_state
+module Rng = Numerics.Rng
+
+type spec = {
+  width_sigma : float;
+  thickness_sigma : float;
+  crit_sigma : float;
+  samples : int;
+  seed : int64;
+}
+
+let default_spec =
+  { width_sigma = 0.05; thickness_sigma = 0.05; crit_sigma = 0.10;
+    samples = 200; seed = 20260707L }
+
+type structure_stats = {
+  index : int;
+  layer : int;
+  nominal_immortal : bool;
+  mortality_probability : float;
+  mean_max_stress : float;
+  std_max_stress : float;
+}
+
+let factor rng sigma =
+  if sigma <= 0. then 1.
+  else Float.max 0.2 (Rng.gaussian rng ~mean:1. ~stddev:sigma)
+
+let perturb_structure rng spec s =
+  let g = St.graph s in
+  St.make ~num_nodes:(St.num_nodes s)
+    (Array.init (St.num_segments s) (fun k ->
+         let e = Ugraph.edge g k in
+         let seg = St.seg s k in
+         let fw = factor rng spec.width_sigma in
+         let ft = factor rng spec.thickness_sigma in
+         (* Fixed current through the segment: j scales inversely with
+            the sampled cross-section. *)
+         ( e.Ugraph.tail,
+           e.Ugraph.head,
+           {
+             St.width = seg.St.width *. fw;
+             height = seg.St.height *. ft;
+             length = seg.St.length;
+             current_density = seg.St.current_density /. (fw *. ft);
+           } )))
+
+let run ?(material = M.cu_dac21) spec structures =
+  if spec.samples < 1 then invalid_arg "Variation.run: samples < 1";
+  let rng = Rng.create spec.seed in
+  List.mapi
+    (fun index (es : Extract.em_structure) ->
+      let s = es.Extract.structure in
+      let nominal =
+        (Em_core.Immortality.check material s)
+          .Em_core.Immortality.structure_immortal
+      in
+      let mortal = ref 0 in
+      let stresses = Array.make spec.samples 0. in
+      for sample = 0 to spec.samples - 1 do
+        let s' = perturb_structure rng spec s in
+        let threshold =
+          M.effective_critical_stress material
+          *. factor rng spec.crit_sigma
+        in
+        let max_stress, _ = Ss.max_stress (Ss.solve material s') in
+        stresses.(sample) <- max_stress;
+        if max_stress >= threshold then incr mortal
+      done;
+      {
+        index;
+        layer = es.Extract.layer_level;
+        nominal_immortal = nominal;
+        mortality_probability =
+          float_of_int !mortal /. float_of_int spec.samples;
+        mean_max_stress = Numerics.Stats.mean stresses;
+        std_max_stress = Numerics.Stats.stddev stresses;
+      })
+    structures
+
+let to_table stats =
+  let sorted =
+    List.sort
+      (fun a b -> compare b.mortality_probability a.mortality_probability)
+      stats
+  in
+  let t =
+    Report.create
+      [ "layer"; "nominal"; "P(mortal)"; "mean peak MPa"; "sigma MPa" ]
+  in
+  List.iter
+    (fun st ->
+      Report.add_row t
+        [
+          Printf.sprintf "M%d" st.layer;
+          (if st.nominal_immortal then "immortal" else "mortal");
+          Printf.sprintf "%.3f" st.mortality_probability;
+          Printf.sprintf "%.1f" (st.mean_max_stress *. 1e-6);
+          Printf.sprintf "%.1f" (st.std_max_stress *. 1e-6);
+        ])
+    sorted;
+  t

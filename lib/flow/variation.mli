@@ -1,0 +1,46 @@
+(** Monte-Carlo process-variation analysis of EM immortality.
+
+    The immortality verdict depends on geometry (through [w h] weighting
+    and through the current densities [j = I/(w h)] that a fixed load
+    current imposes on a varied cross-section) and on the critical stress
+    (grain structure makes [sigma_crit] itself statistical). This module
+    resamples both and reports per-structure mortality probabilities —
+    turning the paper's binary classification into the yield-style number
+    a signoff team actually tracks.
+
+    Segment currents are held at their extracted values (loads do not
+    care about wire geometry), so a thinned segment sees a proportionally
+    higher current density. *)
+
+type spec = {
+  width_sigma : float;      (** relative 1-sigma of segment widths *)
+  thickness_sigma : float;  (** relative 1-sigma of segment thicknesses *)
+  crit_sigma : float;       (** relative 1-sigma of the critical stress *)
+  samples : int;
+  seed : int64;
+}
+
+val default_spec : spec
+(** 5% width, 5% thickness, 10% critical stress, 200 samples. *)
+
+type structure_stats = {
+  index : int;                   (** position in the input list *)
+  layer : int;
+  nominal_immortal : bool;
+  mortality_probability : float; (** fraction of samples that were mortal *)
+  mean_max_stress : float;       (** Pa *)
+  std_max_stress : float;        (** Pa *)
+}
+
+val run :
+  ?material:Em_core.Material.t -> spec -> Extract.em_structure list ->
+  structure_stats list
+
+val perturb_structure :
+  Numerics.Rng.t -> spec -> Em_core.Structure.t -> Em_core.Structure.t
+(** One geometry sample (exposed for tests): widths/thicknesses scaled by
+    truncated-Gaussian factors (floored at 0.2 to keep geometry positive),
+    current densities rescaled to preserve each segment's current. *)
+
+val to_table : structure_stats list -> Report.t
+(** Rows sorted by descending mortality probability. *)

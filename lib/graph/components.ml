@@ -1,0 +1,56 @@
+type t = {
+  count : int;
+  node_component : int array;
+  edge_component : int array;
+}
+
+let compute g =
+  let n = Ugraph.num_nodes g in
+  let node_component = Array.make n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for start = 0 to n - 1 do
+    if node_component.(start) = -1 then begin
+      let c = !count in
+      incr count;
+      node_component.(start) <- c;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        Ugraph.iter_incident g v (fun ~edge_id:_ ~neighbor ->
+            if node_component.(neighbor) = -1 then begin
+              node_component.(neighbor) <- c;
+              Queue.add neighbor queue
+            end)
+      done
+    end
+  done;
+  let edge_component =
+    Array.init (Ugraph.num_edges g) (fun e ->
+        node_component.((Ugraph.edge g e).tail))
+  in
+  { count = !count; node_component; edge_component }
+
+let nodes_of t c =
+  let out = ref [] in
+  for v = Array.length t.node_component - 1 downto 0 do
+    if t.node_component.(v) = c then out := v :: !out
+  done;
+  !out
+
+let edges_of t c =
+  let out = ref [] in
+  for e = Array.length t.edge_component - 1 downto 0 do
+    if t.edge_component.(e) = c then out := e :: !out
+  done;
+  !out
+
+let largest t =
+  if Array.length t.node_component = 0 then invalid_arg "Components.largest";
+  let sizes = Array.make t.count 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) t.node_component;
+  let best = ref 0 in
+  for c = 1 to t.count - 1 do
+    if sizes.(c) > sizes.(!best) then best := c
+  done;
+  !best

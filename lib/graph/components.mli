@@ -1,0 +1,20 @@
+(** Connected components of an undirected graph. *)
+
+type t = {
+  count : int;
+  node_component : int array; (** component id per node, in [0 .. count-1] *)
+  edge_component : int array; (** component id per edge *)
+}
+
+val compute : _ Ugraph.t -> t
+(** Components are numbered in order of their smallest node. *)
+
+val nodes_of : t -> int -> int list
+(** Nodes of the given component, ascending. *)
+
+val edges_of : t -> int -> int list
+(** Edge ids of the given component, ascending. *)
+
+val largest : t -> int
+(** Id of a component with the most nodes. Raises [Invalid_argument] when
+    there are no nodes. *)

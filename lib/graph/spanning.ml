@@ -1,0 +1,31 @@
+type t = {
+  is_tree_edge : bool array;
+  chords : int array;
+  tree : Traversal.tree;
+}
+
+let of_traversal g (tree : Traversal.tree) =
+  let is_tree_edge = Array.make (Ugraph.num_edges g) false in
+  Array.iter
+    (fun v ->
+      let e = tree.Traversal.parent_edge.(v) in
+      if e >= 0 then is_tree_edge.(e) <- true)
+    tree.Traversal.order;
+  let chords = ref [] in
+  for e = Ugraph.num_edges g - 1 downto 0 do
+    let { Ugraph.tail; head; _ } = Ugraph.edge g e in
+    if
+      (not is_tree_edge.(e))
+      && tree.Traversal.reached.(tail)
+      && tree.Traversal.reached.(head)
+    then chords := e :: !chords
+  done;
+  { is_tree_edge; chords = Array.of_list !chords; tree }
+
+let of_bfs g ~root = of_traversal g (Traversal.bfs g ~root)
+
+let of_dfs g ~root = of_traversal g (Traversal.dfs g ~root)
+
+let num_independent_cycles g ~root =
+  let t = of_bfs g ~root in
+  Array.length t.chords

@@ -1,0 +1,22 @@
+(** Spanning trees/forests and the chord set.
+
+    Theorem 1 of the paper reduces steady-state analysis of a mesh to any
+    spanning tree; the edges left out (the {e chords}) each close exactly
+    one independent cycle and are used to check cycle consistency of the
+    prescribed current densities. *)
+
+type t = {
+  is_tree_edge : bool array; (** per edge *)
+  chords : int array;        (** non-tree edge ids, ascending *)
+  tree : Traversal.tree;     (** traversal that discovered the tree *)
+}
+
+val of_bfs : _ Ugraph.t -> root:int -> t
+(** Spanning tree of the component of [root] via BFS. Edges outside that
+    component are neither tree edges nor chords. *)
+
+val of_dfs : _ Ugraph.t -> root:int -> t
+
+val num_independent_cycles : _ Ugraph.t -> root:int -> int
+(** Cycle-space dimension of the component of [root]:
+    [|E_c| - |V_c| + 1]. *)

@@ -1,0 +1,81 @@
+type tree = {
+  root : int;
+  order : int array;
+  parent_node : int array;
+  parent_edge : int array;
+  reached : bool array;
+}
+
+let check_root g root =
+  if root < 0 || root >= Ugraph.num_nodes g then
+    invalid_arg "Traversal: root out of range"
+
+let bfs g ~root =
+  check_root g root;
+  let n = Ugraph.num_nodes g in
+  let parent_node = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let reached = Array.make n false in
+  let order = Array.make n (-1) in
+  let count = ref 0 in
+  let push v =
+    order.(!count) <- v;
+    incr count
+  in
+  let queue = Queue.create () in
+  reached.(root) <- true;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    push v;
+    Ugraph.iter_incident g v (fun ~edge_id ~neighbor ->
+        if not reached.(neighbor) then begin
+          reached.(neighbor) <- true;
+          parent_node.(neighbor) <- v;
+          parent_edge.(neighbor) <- edge_id;
+          Queue.add neighbor queue
+        end)
+  done;
+  { root; order = Array.sub order 0 !count; parent_node; parent_edge; reached }
+
+let dfs g ~root =
+  check_root g root;
+  let n = Ugraph.num_nodes g in
+  let parent_node = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let reached = Array.make n false in
+  let order = Array.make n (-1) in
+  let count = ref 0 in
+  let stack = Stack.create () in
+  Stack.push root stack;
+  reached.(root) <- true;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    order.(!count) <- v;
+    incr count;
+    (* Push in reverse so neighbors are visited in adjacency order. *)
+    let inc = Ugraph.incident g v in
+    for k = Array.length inc - 1 downto 0 do
+      let edge_id, neighbor = inc.(k) in
+      if not reached.(neighbor) then begin
+        reached.(neighbor) <- true;
+        parent_node.(neighbor) <- v;
+        parent_edge.(neighbor) <- edge_id;
+        Stack.push neighbor stack
+      end
+    done
+  done;
+  { root; order = Array.sub order 0 !count; parent_node; parent_edge; reached }
+
+let component_of g ~root =
+  let t = bfs g ~root in
+  let nodes = Array.to_list t.order in
+  List.sort compare nodes
+
+let fold_tree_edges t ~init ~f =
+  Array.fold_left
+    (fun acc node ->
+      if node = t.root then acc
+      else
+        f acc ~node ~parent:t.parent_node.(node) ~edge_id:t.parent_edge.(node))
+    init t.order

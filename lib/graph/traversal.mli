@@ -1,0 +1,28 @@
+(** Breadth-first and depth-first traversals.
+
+    Both traversals produce the same [tree] record: a visit order, and for
+    every reached node the edge and node through which it was first
+    discovered. This is the "standard traversal" of the paper's §IV step 1,
+    from which Blech sums are accumulated. *)
+
+type tree = {
+  root : int;
+  order : int array;        (** visited nodes, root first *)
+  parent_node : int array;  (** per node; [-1] for root and unreached *)
+  parent_edge : int array;  (** per node; [-1] for root and unreached *)
+  reached : bool array;
+}
+
+val bfs : _ Ugraph.t -> root:int -> tree
+
+val dfs : _ Ugraph.t -> root:int -> tree
+(** Iterative preorder DFS (no stack-overflow on long paths). *)
+
+val component_of : _ Ugraph.t -> root:int -> int list
+(** Nodes reachable from [root], ascending. *)
+
+val fold_tree_edges :
+  tree -> init:'acc -> f:('acc -> node:int -> parent:int -> edge_id:int -> 'acc) -> 'acc
+(** Fold over reached non-root nodes in visit order: each step sees the
+    node, its BFS/DFS parent, and the connecting edge. Prefix property: a
+    parent is always presented before its children. *)

@@ -1,0 +1,119 @@
+type edge = { id : int; tail : int; head : int }
+
+type 'a t = {
+  num_nodes : int;
+  edge_ends : edge array;
+  attrs : 'a array;
+  adj : (int * int) array array; (* per node: (edge_id, neighbor) *)
+}
+
+let create ~num_nodes raw_edges =
+  if num_nodes < 0 then invalid_arg "Ugraph.create: negative node count";
+  let m = Array.length raw_edges in
+  let edge_ends =
+    Array.mapi
+      (fun id (u, v, _) ->
+        if u < 0 || u >= num_nodes || v < 0 || v >= num_nodes then
+          invalid_arg
+            (Printf.sprintf "Ugraph.create: edge %d endpoint out of range" id);
+        if u = v then
+          invalid_arg (Printf.sprintf "Ugraph.create: edge %d is a self-loop" id);
+        { id; tail = u; head = v })
+      raw_edges
+  in
+  let attrs = Array.map (fun (_, _, a) -> a) raw_edges in
+  let deg = Array.make num_nodes 0 in
+  for e = 0 to m - 1 do
+    deg.(edge_ends.(e).tail) <- deg.(edge_ends.(e).tail) + 1;
+    deg.(edge_ends.(e).head) <- deg.(edge_ends.(e).head) + 1
+  done;
+  let adj = Array.init num_nodes (fun v -> Array.make deg.(v) (0, 0)) in
+  let fill = Array.make num_nodes 0 in
+  for e = 0 to m - 1 do
+    let { tail; head; _ } = edge_ends.(e) in
+    adj.(tail).(fill.(tail)) <- (e, head);
+    fill.(tail) <- fill.(tail) + 1;
+    adj.(head).(fill.(head)) <- (e, tail);
+    fill.(head) <- fill.(head) + 1
+  done;
+  { num_nodes; edge_ends; attrs; adj }
+
+let num_nodes g = g.num_nodes
+
+let num_edges g = Array.length g.edge_ends
+
+let edge g id =
+  if id < 0 || id >= num_edges g then invalid_arg "Ugraph.edge: bad id";
+  g.edge_ends.(id)
+
+let attr g id =
+  if id < 0 || id >= num_edges g then invalid_arg "Ugraph.attr: bad id";
+  g.attrs.(id)
+
+let edges g = Array.init (num_edges g) (fun id -> (g.edge_ends.(id), g.attrs.(id)))
+
+let map_attr f g = { g with attrs = Array.map f g.attrs }
+
+let mapi_attr f g =
+  { g with attrs = Array.mapi (fun id a -> f g.edge_ends.(id) a) g.attrs }
+
+let other_endpoint g ~edge_id v =
+  let e = edge g edge_id in
+  if e.tail = v then e.head
+  else if e.head = v then e.tail
+  else invalid_arg "Ugraph.other_endpoint: node not an endpoint"
+
+let degree g v =
+  if v < 0 || v >= g.num_nodes then invalid_arg "Ugraph.degree: bad node";
+  Array.length g.adj.(v)
+
+let incident g v =
+  if v < 0 || v >= g.num_nodes then invalid_arg "Ugraph.incident: bad node";
+  g.adj.(v)
+
+let iter_incident g v f =
+  Array.iter (fun (edge_id, neighbor) -> f ~edge_id ~neighbor) (incident g v)
+
+let fold_edges f g init =
+  let acc = ref init in
+  for id = 0 to num_edges g - 1 do
+    acc := f g.edge_ends.(id) g.attrs.(id) !acc
+  done;
+  !acc
+
+let termini g =
+  let out = ref [] in
+  for v = g.num_nodes - 1 downto 0 do
+    if Array.length g.adj.(v) = 1 then out := v :: !out
+  done;
+  !out
+
+let is_connected g =
+  if g.num_nodes <= 1 then true
+  else begin
+    let seen = Array.make g.num_nodes false in
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    seen.(0) <- true;
+    let visited = ref 1 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun (_, u) ->
+          if not seen.(u) then begin
+            seen.(u) <- true;
+            incr visited;
+            Queue.add u queue
+          end)
+        g.adj.(v)
+    done;
+    !visited = g.num_nodes
+  end
+
+let pp pp_attr ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d edges" g.num_nodes (num_edges g);
+  Array.iteri
+    (fun id { tail; head; _ } ->
+      Format.fprintf ppf "@,  e%d: %d -> %d  %a" id tail head pp_attr g.attrs.(id))
+    g.edge_ends;
+  Format.fprintf ppf "@]"

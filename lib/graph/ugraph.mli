@@ -1,0 +1,61 @@
+(** Undirected multigraphs with attributed, reference-directed edges.
+
+    Nodes are the integers [0 .. num_nodes - 1]. Every edge [e] carries a
+    {e reference direction} from [tail e] to [head e] (paper §II-A): the
+    direction is only a sign convention for per-edge quantities (current
+    density), not a connectivity restriction. Parallel edges are allowed;
+    self-loops are rejected since a zero-length wire loop is meaningless.
+
+    The structure is immutable after construction; adjacency is
+    precomputed so traversals are O(|V| + |E|). *)
+
+type 'a t
+
+type edge = {
+  id : int;    (** index in [0 .. num_edges - 1] *)
+  tail : int;  (** reference-direction source node *)
+  head : int;  (** reference-direction target node *)
+}
+
+val create : num_nodes:int -> (int * int * 'a) array -> 'a t
+(** [create ~num_nodes edges] builds a graph whose [i]-th edge runs from
+    the first to the second component with the given attribute. Raises
+    [Invalid_argument] on out-of-range endpoints or self-loops. *)
+
+val num_nodes : _ t -> int
+
+val num_edges : _ t -> int
+
+val edge : _ t -> int -> edge
+
+val attr : 'a t -> int -> 'a
+
+val edges : 'a t -> (edge * 'a) array
+(** All edges in id order (fresh array). *)
+
+val map_attr : ('a -> 'b) -> 'a t -> 'b t
+
+val mapi_attr : (edge -> 'a -> 'b) -> 'a t -> 'b t
+
+val other_endpoint : _ t -> edge_id:int -> int -> int
+(** [other_endpoint g ~edge_id v] is the endpoint of the edge that is not
+    [v]. Raises [Invalid_argument] if [v] is not an endpoint. *)
+
+val degree : _ t -> int -> int
+
+val incident : _ t -> int -> (int * int) array
+(** [incident g v] lists [(edge_id, neighbor)] pairs for [v], in edge-id
+    order. The returned array is shared: do not mutate. *)
+
+val iter_incident : _ t -> int -> (edge_id:int -> neighbor:int -> unit) -> unit
+
+val fold_edges : (edge -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+
+val termini : _ t -> int list
+(** Nodes of degree 1 (paper's terminus nodes), ascending. *)
+
+val is_connected : _ t -> bool
+(** True for graphs with at most one node or a single connected component.
+    Isolated nodes make a graph disconnected. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

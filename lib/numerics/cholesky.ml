@@ -1,0 +1,196 @@
+type ordering = Natural | Rcm
+
+exception Not_positive_definite of int
+
+type t = {
+  n : int;
+  perm : int array;     (* perm.(new) = old *)
+  inv_perm : int array; (* inv_perm.(old) = new *)
+  lp : int array;       (* column pointers of L, length n+1 *)
+  li : int array;       (* row indices of L *)
+  lx : float array;     (* values of L *)
+  d : float array;      (* diagonal of D *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Reverse Cuthill-McKee ordering on the sparsity graph.                *)
+
+let rcm_permutation (a : Sparse.t) =
+  let n = a.Sparse.nrows in
+  let degree i = a.Sparse.row_ptr.(i + 1) - a.Sparse.row_ptr.(i) in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  (* Sweep components; start each from its minimum-degree unvisited node
+     (a cheap pseudo-peripheral choice). *)
+  let next_start () =
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if (not visited.(i)) && (!best < 0 || degree i < degree !best) then
+        best := i
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let neighbors i =
+    let lo = a.Sparse.row_ptr.(i) and hi = a.Sparse.row_ptr.(i + 1) in
+    let out = Array.make (hi - lo) 0 in
+    for p = lo to hi - 1 do
+      out.(p - lo) <- a.Sparse.col_idx.(p)
+    done;
+    Array.sort (fun x y -> compare (degree x, x) (degree y, y)) out;
+    out
+  in
+  let rec loop () =
+    match
+      if Queue.is_empty queue then next_start ()
+      else Some (Queue.pop queue)
+    with
+    | None -> ()
+    | Some v ->
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        order.(!count) <- v;
+        incr count;
+        Array.iter
+          (fun u -> if (not visited.(u)) && u <> v then Queue.add u queue)
+          (neighbors v)
+      end;
+      if !count < n then loop ()
+  in
+  if n > 0 then loop ();
+  (* Reverse for RCM. *)
+  let perm = Array.make n 0 in
+  for k = 0 to n - 1 do
+    perm.(k) <- order.(n - 1 - k)
+  done;
+  perm
+
+(* ------------------------------------------------------------------ *)
+(* Up-looking LDL^T (after Davis' LDL).                                 *)
+
+let factorize ?(ordering = Rcm) (a : Sparse.t) =
+  let n, m = Sparse.dims a in
+  if n <> m then invalid_arg "Cholesky.factorize: non-square";
+  let perm =
+    match ordering with
+    | Natural -> Array.init n (fun i -> i)
+    | Rcm -> rcm_permutation a
+  in
+  let inv_perm = Array.make n 0 in
+  Array.iteri (fun new_pos old -> inv_perm.(old) <- new_pos) perm;
+  (* Permuted-lower-triangle access: for new-row k, iterate the old row
+     perm.(k) and keep entries whose new column index is <= k. *)
+  let iter_row_lower k f =
+    let old_row = perm.(k) in
+    for p = a.Sparse.row_ptr.(old_row) to a.Sparse.row_ptr.(old_row + 1) - 1 do
+      let j = inv_perm.(a.Sparse.col_idx.(p)) in
+      if j <= k then f j a.Sparse.values.(p)
+    done
+  in
+  (* Symbolic: elimination tree + column counts. *)
+  let parent = Array.make n (-1) in
+  let flag = Array.make n (-1) in
+  let lnz = Array.make n 0 in
+  for k = 0 to n - 1 do
+    flag.(k) <- k;
+    iter_row_lower k (fun i _ ->
+        if i < k then begin
+          let i = ref i in
+          while flag.(!i) <> k do
+            if parent.(!i) = -1 then parent.(!i) <- k;
+            lnz.(!i) <- lnz.(!i) + 1;
+            flag.(!i) <- k;
+            i := parent.(!i)
+          done
+        end)
+  done;
+  let lp = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    lp.(k + 1) <- lp.(k) + lnz.(k)
+  done;
+  let total = lp.(n) in
+  let li = Array.make (max 1 total) 0 in
+  let lx = Array.make (max 1 total) 0. in
+  let d = Array.make n 0. in
+  (* Numeric pass. *)
+  let y = Array.make n 0. in
+  let pattern = Array.make n 0 in
+  let fill = Array.copy lp in (* next free slot of each column of L *)
+  Array.fill flag 0 n (-1);
+  for k = 0 to n - 1 do
+    let top = ref n in
+    flag.(k) <- k;
+    iter_row_lower k (fun i v ->
+        y.(i) <- y.(i) +. v;
+        if i < k then begin
+          let len = ref 0 in
+          let i = ref i in
+          while flag.(!i) <> k do
+            pattern.(!len) <- !i;
+            incr len;
+            flag.(!i) <- k;
+            i := parent.(!i)
+          done;
+          while !len > 0 do
+            decr len;
+            decr top;
+            pattern.(!top) <- pattern.(!len)
+          done
+        end);
+    d.(k) <- y.(k);
+    y.(k) <- 0.;
+    for s = !top to n - 1 do
+      let i = pattern.(s) in
+      let yi = y.(i) in
+      y.(i) <- 0.;
+      for p = lp.(i) to fill.(i) - 1 do
+        y.(li.(p)) <- y.(li.(p)) -. (lx.(p) *. yi)
+      done;
+      let l_ki = yi /. d.(i) in
+      d.(k) <- d.(k) -. (l_ki *. yi);
+      li.(fill.(i)) <- k;
+      lx.(fill.(i)) <- l_ki;
+      fill.(i) <- fill.(i) + 1
+    done;
+    if d.(k) <= 0. || not (Float.is_finite d.(k)) then
+      raise (Not_positive_definite perm.(k))
+  done;
+  { n; perm; inv_perm; lp; li; lx; d }
+
+let dim f = f.n
+
+let nnz_l f = f.lp.(f.n)
+
+let ordering_permutation f = Array.copy f.perm
+
+let solve f b =
+  if Array.length b <> f.n then invalid_arg "Cholesky.solve: dimension mismatch";
+  (* x (permuted) = P b *)
+  let x = Array.init f.n (fun k -> b.(f.perm.(k))) in
+  (* Forward: L z = x (L unit-diagonal, stored by columns). *)
+  for j = 0 to f.n - 1 do
+    let xj = x.(j) in
+    if xj <> 0. then
+      for p = f.lp.(j) to f.lp.(j + 1) - 1 do
+        x.(f.li.(p)) <- x.(f.li.(p)) -. (f.lx.(p) *. xj)
+      done
+  done;
+  (* Diagonal. *)
+  for j = 0 to f.n - 1 do
+    x.(j) <- x.(j) /. f.d.(j)
+  done;
+  (* Backward: L^T y = x. *)
+  for j = f.n - 1 downto 0 do
+    let acc = ref x.(j) in
+    for p = f.lp.(j) to f.lp.(j + 1) - 1 do
+      acc := !acc -. (f.lx.(p) *. x.(f.li.(p)))
+    done;
+    x.(j) <- !acc
+  done;
+  (* Un-permute. *)
+  let out = Array.make f.n 0. in
+  for k = 0 to f.n - 1 do
+    out.(f.perm.(k)) <- x.(k)
+  done;
+  out

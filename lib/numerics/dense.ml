@@ -1,0 +1,199 @@
+type t = { nrows : int; ncols : int; data : float array }
+
+let create nrows ncols =
+  if nrows < 0 || ncols < 0 then invalid_arg "Dense.create: negative dims";
+  { nrows; ncols; data = Array.make (nrows * ncols) 0. }
+
+let rows m = m.nrows
+
+let cols m = m.ncols
+
+let idx m i j = (i * m.ncols) + j
+
+let get m i j =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
+    invalid_arg "Dense.get: out of bounds";
+  m.data.(idx m i j)
+
+let set m i j v =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
+    invalid_arg "Dense.set: out of bounds";
+  m.data.(idx m i j) <- v
+
+let add_to m i j v = set m i j (get m i j +. v)
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.data.(idx m i i) <- 1.
+  done;
+  m
+
+let of_arrays a =
+  let nrows = Array.length a in
+  if nrows = 0 then invalid_arg "Dense.of_arrays: empty";
+  let ncols = Array.length a.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> ncols then
+        invalid_arg "Dense.of_arrays: ragged rows")
+    a;
+  let m = create nrows ncols in
+  for i = 0 to nrows - 1 do
+    for j = 0 to ncols - 1 do
+      m.data.(idx m i j) <- a.(i).(j)
+    done
+  done;
+  m
+
+let to_arrays m =
+  Array.init m.nrows (fun i -> Array.init m.ncols (fun j -> get m i j))
+
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m =
+  let r = create m.ncols m.nrows in
+  for i = 0 to m.nrows - 1 do
+    for j = 0 to m.ncols - 1 do
+      r.data.(idx r j i) <- m.data.(idx m i j)
+    done
+  done;
+  r
+
+let mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Dense.mul: dimension mismatch";
+  let r = create a.nrows b.ncols in
+  for i = 0 to a.nrows - 1 do
+    for k = 0 to a.ncols - 1 do
+      let aik = a.data.(idx a i k) in
+      if aik <> 0. then
+        for j = 0 to b.ncols - 1 do
+          r.data.(idx r i j) <- r.data.(idx r i j) +. (aik *. b.data.(idx b k j))
+        done
+    done
+  done;
+  r
+
+let mul_vec a x =
+  if a.ncols <> Array.length x then invalid_arg "Dense.mul_vec: dimension mismatch";
+  let y = Array.make a.nrows 0. in
+  for i = 0 to a.nrows - 1 do
+    let acc = ref 0. in
+    for j = 0 to a.ncols - 1 do
+      acc := !acc +. (a.data.(idx a i j) *. x.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+exception Singular
+
+let pivot_tolerance = 1e-300
+
+(* Doolittle LU with partial pivoting, packed in one matrix: the unit lower
+   triangle is stored below the diagonal, U on and above it. *)
+let lu_factor a =
+  if a.nrows <> a.ncols then invalid_arg "Dense.lu_factor: non-square";
+  let n = a.nrows in
+  let lu = copy a in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* Select the pivot row. *)
+    let pivot_row = ref k in
+    let pivot_mag = ref (Float.abs lu.data.(idx lu k k)) in
+    for i = k + 1 to n - 1 do
+      let m = Float.abs lu.data.(idx lu i k) in
+      if m > !pivot_mag then begin
+        pivot_mag := m;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag < pivot_tolerance then raise Singular;
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = lu.data.(idx lu k j) in
+        lu.data.(idx lu k j) <- lu.data.(idx lu !pivot_row j);
+        lu.data.(idx lu !pivot_row j) <- tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp
+    end;
+    let pivot = lu.data.(idx lu k k) in
+    for i = k + 1 to n - 1 do
+      let factor = lu.data.(idx lu i k) /. pivot in
+      lu.data.(idx lu i k) <- factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          lu.data.(idx lu i j) <- lu.data.(idx lu i j) -. (factor *. lu.data.(idx lu k j))
+        done
+    done
+  done;
+  (lu, perm)
+
+let lu_solve (lu, perm) b =
+  let n = lu.nrows in
+  if Array.length b <> n then invalid_arg "Dense.lu_solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with the unit lower triangle. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (lu.data.(idx lu i j) *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (lu.data.(idx lu i j) *. x.(j))
+    done;
+    x.(i) <- !acc /. lu.data.(idx lu i i)
+  done;
+  x
+
+let solve a b = lu_solve (lu_factor a) b
+
+let solve_least_squares a b =
+  if a.nrows < a.ncols then invalid_arg "Dense.solve_least_squares: underdetermined";
+  let at = transpose a in
+  let normal = mul at a in
+  let rhs = mul_vec at b in
+  solve normal rhs
+
+let determinant a =
+  match lu_factor a with
+  | exception Singular -> 0.
+  | lu, perm ->
+    let n = a.nrows in
+    (* Sign of the permutation via cycle counting. *)
+    let seen = Array.make n false in
+    let sign = ref 1. in
+    for i = 0 to n - 1 do
+      if not seen.(i) then begin
+        let len = ref 0 in
+        let j = ref i in
+        while not seen.(!j) do
+          seen.(!j) <- true;
+          j := perm.(!j);
+          incr len
+        done;
+        if !len mod 2 = 0 then sign := -. !sign
+      end
+    done;
+    let det = ref !sign in
+    for i = 0 to n - 1 do
+      det := !det *. lu.data.(idx lu i i)
+    done;
+    !det
+
+let pp ppf m =
+  for i = 0 to m.nrows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.ncols - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%10.4g" (get m i j)
+    done;
+    Format.fprintf ppf "]@\n"
+  done

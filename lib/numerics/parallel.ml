@@ -1,0 +1,44 @@
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let map ?jobs f xs =
+  let n = Array.length xs in
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Parallel.map: jobs < 1"
+    | Some j -> min j n
+    | None -> min (recommended_jobs ()) n
+  in
+  if n = 0 then [||]
+  else if jobs <= 1 then Array.map f xs
+  else begin
+    (* Results land in an option array: each slot is written by exactly
+       one domain, so no synchronization beyond join is needed. *)
+    let out = Array.make n None in
+    let failure = Atomic.make None in
+    let chunk w =
+      (* Balanced contiguous ranges. *)
+      let base = n / jobs and extra = n mod jobs in
+      let lo = (w * base) + min w extra in
+      let len = base + if w < extra then 1 else 0 in
+      (lo, len)
+    in
+    let worker w () =
+      let lo, len = chunk w in
+      try
+        for i = lo to lo + len - 1 do
+          out.(i) <- Some (f xs.(i))
+        done
+      with e -> Atomic.compare_and_set failure None (Some e) |> ignore
+    in
+    let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some e -> raise e
+    | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* every slot written *))
+      out
+  end
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))

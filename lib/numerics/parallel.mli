@@ -1,0 +1,17 @@
+(** Minimal fork-join parallelism on OCaml 5 domains.
+
+    [map ~jobs f xs] splits the work into contiguous chunks, runs each in
+    its own domain and preserves order. Use for pure, CPU-bound [f] over
+    independent items (per-structure EM analysis, Monte-Carlo samples);
+    the chunking is static, so items should have comparable cost or be
+    numerous enough to average out. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count], clamped to at least 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [jobs] defaults to {!recommended_jobs}; [jobs = 1] runs in the
+    calling domain. Exceptions raised by [f] are re-raised in the caller
+    after all domains have joined. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All synthetic workloads (grid synthesis, current maps, random
+    structures) draw from this generator so that every experiment is
+    reproducible from a printed seed, independent of the OCaml stdlib
+    [Random] state. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing)
+    [t]; used to give each grid layer / region its own stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val bool : t -> bool
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box-Muller normal deviate. *)
+
+val exponential : t -> rate:float -> float
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

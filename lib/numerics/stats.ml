@@ -1,0 +1,77 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.
+
+let rmse x y =
+  if Array.length x <> Array.length y then invalid_arg "Stats.rmse";
+  let n = Array.length x in
+  if n = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let d = x.(i) -. y.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt (!acc /. float_of_int n)
+  end
+
+let max_rel_error x y =
+  if Array.length x <> Array.length y then invalid_arg "Stats.max_rel_error";
+  let y_scale =
+    Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. y
+  in
+  let floor_scale = Float.max 1e-300 (1e-12 *. y_scale) in
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let denom = Float.max floor_scale (Float.abs y.(i)) in
+    acc := Float.max !acc (Float.abs (x.(i) -. y.(i)) /. denom)
+  done;
+  !acc
+
+let histogram xs ~bins ~lo ~hi =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be > 0";
+  if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let b = int_of_float (Float.floor ((x -. lo) /. width)) in
+      let b = max 0 (min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  counts

@@ -1,0 +1,31 @@
+(** Small descriptive-statistics helpers used by reports and tests. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on empty input. *)
+
+val variance : float array -> float
+(** Population variance; [nan] on empty input. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on empty input or [p]
+    outside the range. Input is not modified. *)
+
+val median : float array -> float
+
+val rmse : float array -> float array -> float
+(** Root-mean-square difference of two equal-length samples. *)
+
+val max_rel_error : float array -> float array -> float
+(** [max_i |x_i - y_i| / max(scale, |y_i|)] where [scale] is the largest
+    magnitude in [y] times 1e-12 (guards exact zeros); the metric used to
+    compare closed-form stresses against PDE solutions. *)
+
+val histogram : float array -> bins:int -> lo:float -> hi:float -> int array
+(** Counts per bin; values outside [\[lo, hi)] are clamped into the first or
+    last bin. [bins] must be positive. *)

@@ -1,0 +1,47 @@
+type t = { lower : float array; diag : float array; upper : float array }
+
+let create n =
+  if n <= 0 then invalid_arg "Tridiag.create";
+  { lower = Array.make (max 0 (n - 1)) 0.; diag = Array.make n 0.;
+    upper = Array.make (max 0 (n - 1)) 0. }
+
+let dim m = Array.length m.diag
+
+let mul_vec m x =
+  let n = dim m in
+  if Array.length x <> n then invalid_arg "Tridiag.mul_vec";
+  Array.init n (fun i ->
+      let acc = ref (m.diag.(i) *. x.(i)) in
+      if i > 0 then acc := !acc +. (m.lower.(i - 1) *. x.(i - 1));
+      if i < n - 1 then acc := !acc +. (m.upper.(i) *. x.(i + 1));
+      !acc)
+
+let solve m b =
+  let n = dim m in
+  if Array.length b <> n then invalid_arg "Tridiag.solve";
+  let c' = Array.make n 0. and d' = Array.make n 0. in
+  if Float.abs m.diag.(0) < 1e-300 then failwith "Tridiag.solve: zero pivot";
+  c'.(0) <- (if n > 1 then m.upper.(0) /. m.diag.(0) else 0.);
+  d'.(0) <- b.(0) /. m.diag.(0);
+  for i = 1 to n - 1 do
+    let denom = m.diag.(i) -. (m.lower.(i - 1) *. c'.(i - 1)) in
+    if Float.abs denom < 1e-300 then failwith "Tridiag.solve: zero pivot";
+    if i < n - 1 then c'.(i) <- m.upper.(i) /. denom;
+    d'.(i) <- (b.(i) -. (m.lower.(i - 1) *. d'.(i - 1))) /. denom
+  done;
+  let x = Array.make n 0. in
+  x.(n - 1) <- d'.(n - 1);
+  for i = n - 2 downto 0 do
+    x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
+  done;
+  x
+
+let to_sparse m =
+  let n = dim m in
+  let b = Sparse.Builder.create ~expected_nnz:(3 * n) n n in
+  for i = 0 to n - 1 do
+    Sparse.Builder.add b i i m.diag.(i);
+    if i > 0 then Sparse.Builder.add b i (i - 1) m.lower.(i - 1);
+    if i < n - 1 then Sparse.Builder.add b i (i + 1) m.upper.(i)
+  done;
+  Sparse.Builder.to_csr b

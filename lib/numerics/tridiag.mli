@@ -1,0 +1,25 @@
+(** Tridiagonal systems via the Thomas algorithm.
+
+    Used for single-line (no-junction) Korhonen transient steps, where the
+    implicit-Euler matrix is tridiagonal and the O(n) direct solve beats
+    CG. *)
+
+type t = {
+  lower : float array; (** sub-diagonal, length [n - 1] *)
+  diag : float array;  (** main diagonal, length [n] *)
+  upper : float array; (** super-diagonal, length [n - 1] *)
+}
+
+val create : int -> t
+(** Zero-filled system of size [n]. *)
+
+val dim : t -> int
+
+val mul_vec : t -> Vector.t -> Vector.t
+
+val solve : t -> Vector.t -> Vector.t
+(** [solve m b] solves [m x = b] by Gaussian elimination without pivoting;
+    valid for the diagonally-dominant matrices produced by implicit-Euler
+    diffusion steps. Raises [Failure] on a vanishing pivot. *)
+
+val to_sparse : t -> Sparse.t

@@ -1,0 +1,59 @@
+module M = Em_core.Material
+
+let series ?(terms = 2000) material ~length ~j ~x ~t =
+  let kappa = M.kappa material in
+  let beta = M.beta material in
+  if x < 0. || x > length then invalid_arg "Analytic.stress: x outside segment";
+  if t < 0. then invalid_arg "Analytic.stress: negative time";
+  if t = 0. then 0.
+  else begin
+    let steady = beta *. j *. ((length /. 2.) -. x) in
+    let acc = ref 0. in
+    let n = ref 1 in
+    let continue = ref true in
+    while !continue && !n <= (2 * terms) - 1 do
+      let nf = float_of_int !n in
+      let rate = (nf *. Float.pi /. length) ** 2. *. kappa in
+      let decay = exp (-.rate *. t) in
+      acc :=
+        !acc
+        +. (4. /. ((nf *. Float.pi) ** 2.)
+           *. cos (nf *. Float.pi *. x /. length)
+           *. decay);
+      (* Later terms only shrink: both the 1/n^2 envelope and the
+         exponential decay are monotone in n. *)
+      if decay < 1e-18 then continue := false;
+      n := !n + 2
+    done;
+    steady -. (beta *. j *. length *. !acc)
+  end
+
+let stress ?terms material ~length ~j ~x ~t =
+  series ?terms material ~length ~j ~x ~t
+
+let peak_stress ?terms material ~length ~j ~t =
+  series ?terms material ~length ~j ~x:0. ~t
+
+let time_constant material ~length =
+  length *. length /. (Float.pi *. Float.pi *. M.kappa material)
+
+let nucleation_time ?terms material ~length ~j =
+  let threshold = M.effective_critical_stress material in
+  let steady_peak = M.beta material *. Float.abs j *. length /. 2. in
+  if steady_peak <= threshold then None
+  else begin
+    let j = Float.abs j in
+    let peak t = peak_stress ?terms material ~length ~j ~t in
+    (* Bracket: peak is monotone increasing from 0 to steady_peak. *)
+    let tau = time_constant material ~length in
+    let hi = ref tau in
+    while peak !hi < threshold do
+      hi := !hi *. 2.
+    done;
+    let lo = ref 0. in
+    for _ = 1 to 80 do
+      let mid = (!lo +. !hi) /. 2. in
+      if peak mid < threshold then lo := mid else hi := mid
+    done;
+    Some ((!lo +. !hi) /. 2.)
+  end

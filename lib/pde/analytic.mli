@@ -1,0 +1,39 @@
+(** Korhonen's analytic transient solution for a single finite segment
+    (ref [10] of the paper): the independent oracle the finite-volume
+    solver is validated against at {e intermediate} times, not just at
+    steady state.
+
+    For a segment of length [l] with constant current density [j],
+    blocking boundaries at both ends and zero initial stress,
+
+    {v
+sigma(x,t) = beta j (l/2 - x)
+           - beta j l * sum over odd n of
+               (4 / (n pi)^2) cos(n pi x / l) exp(-(n pi / l)^2 kappa t)
+    v}
+
+    The series converges geometrically for [t > 0]; at [t = 0] it
+    telescopes to zero stress everywhere. *)
+
+val stress :
+  ?terms:int -> Em_core.Material.t -> length:float -> j:float -> x:float ->
+  t:float -> float
+(** Stress (Pa) at local coordinate [x] from the cathode end at time [t]
+    (s). [terms] caps the number of series terms (default 2000: accurate
+    for [t] down to ~1e-6 of the relaxation {!time_constant}; [t = 0] is
+    returned exactly as zero). Raises [Invalid_argument] for [x] outside
+    [0, l] or negative [t]. *)
+
+val peak_stress : ?terms:int -> Em_core.Material.t -> length:float -> j:float -> t:float -> float
+(** [stress] at [x = 0], the maximum for [j > 0]. *)
+
+val nucleation_time :
+  ?terms:int -> Em_core.Material.t -> length:float -> j:float -> float option
+(** First time the peak stress reaches the effective critical stress,
+    found by bisection on the monotone peak-stress transient; [None] when
+    the steady-state peak [beta j l / 2] never reaches it (the Blech
+    immortality condition). *)
+
+val time_constant : Em_core.Material.t -> length:float -> float
+(** Slowest relaxation time [l^2 / (pi^2 kappa)], s: the scale on which
+    the wire approaches steady state. *)

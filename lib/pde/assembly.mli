@@ -1,0 +1,22 @@
+(** Finite-volume operator assembly for the Korhonen equation
+    [d sigma/dt = d/dx (kappa (d sigma/dx + beta j))] on a discretized
+    structure (paper Eq. (1) with the BCs (2)-(5)).
+
+    The semi-discrete system is [M dsigma/dt = -K sigma + b] where [M] is
+    the diagonal control-volume mass matrix, [K] the (symmetric positive
+    semidefinite) flux stiffness matrix and [b] collects the electron-wind
+    drift terms. Blocking boundaries at termini are natural (zero-flux
+    faces are simply absent); junction flux balance holds because incident
+    half-cells share one control volume. *)
+
+type t = {
+  mesh : Mesh1d.t;
+  stiffness : Numerics.Sparse.t;  (** K, [num_unknowns]^2 *)
+  drift : Numerics.Vector.t;      (** b *)
+  mass : Numerics.Vector.t;       (** diagonal of M = control volumes *)
+}
+
+val build : Em_core.Material.t -> Mesh1d.t -> t
+
+val residual_norm : t -> Numerics.Vector.t -> float
+(** [|b - K sigma|_inf / |b|_inf]; zero exactly at the steady state. *)

@@ -1,0 +1,119 @@
+module Sp = Numerics.Sparse
+module Cg = Numerics.Cg
+module V = Numerics.Vector
+
+type options = {
+  dt0 : float;
+  growth : float;
+  max_steps : int;
+  steady_rtol : float;
+  cg_tol : float;
+  theta : float;
+}
+
+let default_options =
+  { dt0 = 1e3; growth = 1.35; max_steps = 200; steady_rtol = 1e-9;
+    cg_tol = 1e-11; theta = 1. }
+
+type trace = { times : float array; peak_stress : float array }
+
+type result = {
+  assembly : Assembly.t;
+  sigma : Numerics.Vector.t;
+  node_stress : float array;
+  time : float;
+  steps : int;
+  steady : bool;
+  trace : trace;
+}
+
+let max_abs v =
+  Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. v
+
+let run ?(options = default_options) ?initial material mesh =
+  if options.dt0 <= 0. || options.growth < 1. then
+    invalid_arg "Korhonen.run: need dt0 > 0 and growth >= 1";
+  if options.theta < 0.5 || options.theta > 1. then
+    invalid_arg "Korhonen.run: theta must be in [0.5, 1]";
+  let asm = Assembly.build material mesh in
+  let n = mesh.Mesh1d.num_unknowns in
+  let sigma =
+    match initial with
+    | None -> Array.make n 0.
+    | Some v ->
+      if Array.length v <> n then invalid_arg "Korhonen.run: bad initial";
+      Array.copy v
+  in
+  let mass = asm.Assembly.mass in
+  let times = ref [] and peaks = ref [] in
+  let dt = ref options.dt0 in
+  let time = ref 0. in
+  let steps = ref 0 in
+  let steady = ref false in
+  let prev = Array.make n 0. in
+  let k_sigma = Array.make n 0. in
+  while (not !steady) && !steps < options.max_steps do
+    (* theta-scheme: (M/dt + theta K) sigma' =
+       (M/dt) sigma - (1-theta) K sigma + b. *)
+    let theta = options.theta in
+    let inv_dt = 1. /. !dt in
+    let lhs =
+      Sp.add_diagonal
+        (Sp.scale theta asm.Assembly.stiffness)
+        (Array.map (fun m -> m *. inv_dt) mass)
+    in
+    Sp.mul_vec_into asm.Assembly.stiffness sigma k_sigma;
+    let rhs =
+      Array.mapi
+        (fun i s ->
+          (mass.(i) *. s *. inv_dt)
+          -. ((1. -. theta) *. k_sigma.(i))
+          +. asm.Assembly.drift.(i))
+        sigma
+    in
+    let r = Cg.solve ~tol:options.cg_tol ~x0:sigma lhs rhs in
+    V.blit ~src:sigma ~dst:prev;
+    V.blit ~src:r.Cg.x ~dst:sigma;
+    time := !time +. !dt;
+    incr steps;
+    times := !time :: !times;
+    peaks := max_abs sigma :: !peaks;
+    let update = V.max_abs_diff sigma prev in
+    let scale = Float.max (max_abs sigma) 1. in
+    if update /. scale < options.steady_rtol then steady := true;
+    dt := !dt *. options.growth
+  done;
+  {
+    assembly = asm;
+    sigma;
+    node_stress = Mesh1d.node_values mesh sigma;
+    time = !time;
+    steps = !steps;
+    steady = !steady;
+    trace =
+      {
+        times = Array.of_list (List.rev !times);
+        peak_stress = Array.of_list (List.rev !peaks);
+      };
+  }
+
+let run_structure ?options ?target_dx material s =
+  run ?options material (Mesh1d.discretize ?target_dx s)
+
+let time_to_critical result ~threshold =
+  let { times; peak_stress } = result.trace in
+  let n = Array.length times in
+  let rec search i =
+    if i >= n then None
+    else if peak_stress.(i) >= threshold then begin
+      if i = 0 then Some times.(0)
+      else begin
+        let t0 = times.(i - 1) and t1 = times.(i) in
+        let p0 = peak_stress.(i - 1) and p1 = peak_stress.(i) in
+        if p1 -. p0 <= 0. then Some t1
+        else Some (t0 +. ((threshold -. p0) /. (p1 -. p0) *. (t1 -. t0)))
+      end
+    end
+    else search (i + 1)
+  in
+  search 0

@@ -1,0 +1,60 @@
+(** Transient Korhonen solver: implicit-Euler time marching of
+    [M dsigma/dt = -K sigma + b] from a given initial stress.
+
+    Each step solves the SPD system [(M/dt + K) sigma' = M sigma/dt + b]
+    with preconditioned CG. Steps grow geometrically from [dt0] (EM steady
+    states are reached over years while the initial transient lives at the
+    cell-diffusion scale, so geometric growth covers both regimes in a few
+    dozen steps). The marcher stops when the relative update rate falls
+    under [steady_rtol] or [max_steps] is exhausted.
+
+    Beyond validating the steady-state theory, the transient solver gives
+    a {e nucleation-time estimate} for mortal structures: the first time
+    the peak stress crosses the critical threshold (an extension the paper
+    leaves to its transient-analysis references [3,4]). *)
+
+type options = {
+  dt0 : float;          (** initial step, s *)
+  growth : float;       (** geometric step growth, >= 1 (1 = fixed step) *)
+  max_steps : int;
+  steady_rtol : float;  (** stop when the per-step relative update is below *)
+  cg_tol : float;
+  theta : float;        (** time scheme: 1 = implicit Euler (robust,
+                            first order), 0.5 = Crank-Nicolson (second
+                            order; use fixed steps). Must be in
+                            [0.5, 1]. *)
+}
+
+val default_options : options
+(** dt0 = 1e3 s, growth = 1.35, max_steps = 200, steady_rtol = 1e-9,
+    cg_tol = 1e-11, theta = 1 (implicit Euler). *)
+
+type trace = {
+  times : float array;        (** cumulative time after each step, s *)
+  peak_stress : float array;  (** max over unknowns after each step, Pa *)
+}
+
+type result = {
+  assembly : Assembly.t;
+  sigma : Numerics.Vector.t;
+  node_stress : float array;
+  time : float;               (** total simulated time, s *)
+  steps : int;
+  steady : bool;              (** stopped by the steady criterion *)
+  trace : trace;
+}
+
+val run :
+  ?options:options -> ?initial:Numerics.Vector.t ->
+  Em_core.Material.t -> Mesh1d.t -> result
+(** [initial] defaults to zero stress everywhere (the paper's
+    superposition treatment moves thermal stress into the threshold). *)
+
+val run_structure :
+  ?options:options -> ?target_dx:float ->
+  Em_core.Material.t -> Em_core.Structure.t -> result
+
+val time_to_critical : result -> threshold:float -> float option
+(** First trace time at which the peak stress reached [threshold]
+    (linearly interpolated between steps); [None] if it never did —
+    immortal within the simulated horizon. *)

@@ -1,0 +1,47 @@
+(** Vertex-centered finite-volume discretization of an interconnect
+    structure.
+
+    Each segment is subdivided into equal cells; the discretization points
+    at segment ends coincide with the structure's graph nodes and are
+    shared between incident segments, which makes the continuity boundary
+    condition (paper Eq. (5)) hold by construction. Unknown numbering puts
+    the graph nodes first ([0 .. |V|-1]) followed by the interior points
+    of segment 0, 1, ... in order of increasing local coordinate.
+
+    The {e control volume} of a point is [w h dx] for segment-interior
+    points and the sum of the adjacent half-cells for graph nodes, so a
+    junction's control volume spans all its incident segments — the
+    discrete form of the flux boundary condition (4). *)
+
+type t = {
+  structure : Em_core.Structure.t;
+  num_unknowns : int;
+  points_per_segment : int array; (** interior point count of each segment *)
+  interior_offset : int array;    (** first interior unknown of each segment *)
+  dx : float array;               (** cell length of each segment, m *)
+  control_volume : float array;   (** per unknown, m^3 *)
+}
+
+val discretize : ?target_dx:float -> ?min_cells:int -> Em_core.Structure.t -> t
+(** [discretize s] subdivides each segment into
+    [max min_cells (round (l / target_dx))] cells. Defaults:
+    [target_dx = 0.5 um], [min_cells = 4]. *)
+
+val point : t -> seg:int -> idx:int -> int
+(** Global unknown of the [idx]-th point of a segment ([idx = 0] is the
+    tail node, [idx = cells] is the head node). *)
+
+val num_cells : t -> seg:int -> int
+(** Number of cells of a segment (= interior points + 1). *)
+
+val position : t -> seg:int -> idx:int -> float
+(** Local coordinate of the point, m from the segment tail. *)
+
+val total_volume : t -> float
+(** Sum of all control volumes; equals the structure volume. *)
+
+val interpolate : t -> Numerics.Vector.t -> seg:int -> x:float -> float
+(** Linear interpolation of an unknown vector along a segment. *)
+
+val node_values : t -> Numerics.Vector.t -> float array
+(** Restriction of an unknown vector to the structure's graph nodes. *)

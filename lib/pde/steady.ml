@@ -1,0 +1,42 @@
+module Cg = Numerics.Cg
+
+type solution = {
+  assembly : Assembly.t;
+  sigma : Numerics.Vector.t;
+  node_stress : float array;
+  cg_iterations : int;
+  residual : float;
+}
+
+let solve ?(tol = 1e-12) ?max_iter material mesh =
+  let asm = Assembly.build material mesh in
+  let result =
+    Cg.solve_semidefinite ?max_iter ~tol asm.Assembly.stiffness
+      asm.Assembly.drift ~weights:asm.Assembly.mass
+  in
+  let sigma = result.Cg.x in
+  {
+    assembly = asm;
+    sigma;
+    node_stress = Mesh1d.node_values mesh sigma;
+    cg_iterations = result.Cg.iterations;
+    residual = result.Cg.residual;
+  }
+
+let solve_structure ?tol ?target_dx material s =
+  solve ?tol material (Mesh1d.discretize ?target_dx s)
+
+let sample sol ~seg ~x =
+  Mesh1d.interpolate sol.assembly.Assembly.mesh sol.sigma ~seg ~x
+
+let mass_total sol =
+  let mesh = sol.assembly.Assembly.mesh in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i v -> acc := !acc +. (mesh.Mesh1d.control_volume.(i) *. v))
+    sol.sigma;
+  let scale =
+    Mesh1d.total_volume mesh
+    *. Float.max 1e-30 (Numerics.Vector.norm_inf sol.sigma)
+  in
+  !acc /. Float.max 1e-300 scale

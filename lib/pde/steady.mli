@@ -1,0 +1,30 @@
+(** Direct steady-state solve of the discretized Korhonen system.
+
+    Solves [K sigma = b] (singular, consistent; nullspace = constants)
+    with preconditioned CG under the mass-conservation gauge
+    [sum_p V_p sigma_p = 0] — the discrete Lemma 3. For the linear-in-x
+    exact steady profile the vertex-centered scheme is nodally exact, so
+    this solver independently reproduces {!Em_core.Steady_state} to the
+    CG tolerance; the Fig. 6 experiment relies on that. *)
+
+type solution = {
+  assembly : Assembly.t;
+  sigma : Numerics.Vector.t;      (** all unknowns, Pa *)
+  node_stress : float array;      (** restriction to graph nodes *)
+  cg_iterations : int;
+  residual : float;               (** CG relative residual *)
+}
+
+val solve :
+  ?tol:float -> ?max_iter:int -> Em_core.Material.t -> Mesh1d.t -> solution
+
+val solve_structure :
+  ?tol:float -> ?target_dx:float -> Em_core.Material.t ->
+  Em_core.Structure.t -> solution
+(** Convenience wrapper: discretize + solve. *)
+
+val sample : solution -> seg:int -> x:float -> float
+(** Stress at a local coordinate by linear interpolation. *)
+
+val mass_total : solution -> float
+(** [sum_p V_p sigma_p / (total volume * max |sigma|)]; ~0 by the gauge. *)

@@ -1,0 +1,28 @@
+module M = Em_core.Material
+module U = Em_core.Units
+
+let drift_velocity material ~j =
+  let kt = U.boltzmann *. material.M.temperature in
+  M.diffusivity material /. kt
+  *. (material.M.effective_charge *. U.electron_charge *. material.M.resistivity)
+  *. Float.abs j
+
+let growth_time material ~j ~critical_void =
+  if critical_void <= 0. then invalid_arg "Void_growth.growth_time";
+  let v = drift_velocity material ~j in
+  if v <= 0. then Float.infinity else critical_void /. v
+
+type ttf = {
+  nucleation : float option;
+  growth : float;
+  total : float option;
+}
+
+let time_to_failure ?(critical_void = 50e-9) material ~length ~j =
+  let nucleation = Analytic.nucleation_time material ~length ~j in
+  let growth = growth_time material ~j ~critical_void in
+  {
+    nucleation;
+    growth;
+    total = Option.map (fun t -> t +. growth) nucleation;
+  }

@@ -1,0 +1,37 @@
+(** Post-nucleation void growth and time-to-failure estimates.
+
+    The steady-state immortality test answers {e whether} a wire fails;
+    the transient solver answers {e when} a void nucleates. This module
+    adds the standard drift-growth phase on top (the treatment of the
+    paper's physics-based references [10,19]): once a void exists at the
+    cathode, atoms drift away from it with the electromigration drift
+    velocity
+
+    {v v_d = (D_a / kT) * Z* e rho |j| v}
+
+    so the void edge recedes at [v_d] and failure occurs when the void
+    spans a critical length (a via diameter or the line width). Together
+    with the nucleation time from {!Korhonen} (or {!Analytic}) this gives
+    a two-phase TTF with the expected limits: Black-like [1/j] scaling
+    when growth dominates, a sharp Blech cliff when nucleation
+    dominates. *)
+
+val drift_velocity : Em_core.Material.t -> j:float -> float
+(** m/s; proportional to |j|. *)
+
+val growth_time :
+  Em_core.Material.t -> j:float -> critical_void:float -> float
+(** Time to grow a void of [critical_void] metres at constant current;
+    [infinity] for j = 0. *)
+
+type ttf = {
+  nucleation : float option; (** s; [None] = immortal *)
+  growth : float;            (** s *)
+  total : float option;      (** s; [None] = immortal *)
+}
+
+val time_to_failure :
+  ?critical_void:float ->
+  Em_core.Material.t -> length:float -> j:float -> ttf
+(** Two-phase TTF of a single blocked segment, using the analytic
+    nucleation time. [critical_void] defaults to 50 nm (a small via). *)

@@ -1,0 +1,70 @@
+type hotspot = { cx : float; cy : float; radius : float; weight : float }
+
+type t = {
+  width : float;
+  height : float;
+  total_current : float;
+  uniform_fraction : float;
+  hotspots : hotspot array;
+}
+
+let make ?(uniform_fraction = 0.3) ~width ~height ~total_current spots =
+  if width <= 0. || height <= 0. then invalid_arg "Floorplan.make: bad die";
+  if total_current <= 0. then invalid_arg "Floorplan.make: bad current";
+  if uniform_fraction < 0. || uniform_fraction > 1. then
+    invalid_arg "Floorplan.make: uniform_fraction outside [0,1]";
+  if spots = [] && uniform_fraction < 1. then
+    invalid_arg "Floorplan.make: no hotspots and uniform_fraction < 1";
+  let total_weight = List.fold_left (fun acc h -> acc +. h.weight) 0. spots in
+  let hotspots =
+    match spots with
+    | [] -> [||]
+    | _ ->
+      if total_weight <= 0. then invalid_arg "Floorplan.make: zero weights";
+      Array.of_list
+        (List.map (fun h -> { h with weight = h.weight /. total_weight }) spots)
+  in
+  { width; height; total_current; uniform_fraction; hotspots }
+
+let random rng ?(num_hotspots = 4) ?(uniform_fraction = 0.3)
+    ?(radius_range = (0.05, 0.2)) ~width ~height ~total_current () =
+  let lo, hi = radius_range in
+  if lo <= 0. || hi < lo then invalid_arg "Floorplan.random: bad radius_range";
+  let diag = sqrt ((width *. width) +. (height *. height)) in
+  let spots =
+    List.init num_hotspots (fun _ ->
+        {
+          cx = Numerics.Rng.float rng width;
+          cy = Numerics.Rng.float rng height;
+          radius = Numerics.Rng.uniform rng (lo *. diag) (hi *. diag);
+          weight = Numerics.Rng.uniform rng 0.5 2.0;
+        })
+  in
+  make ~uniform_fraction ~width ~height ~total_current spots
+
+let demand_at fp ~x ~y =
+  let area = fp.width *. fp.height in
+  let uniform = fp.uniform_fraction /. area in
+  let spot_density =
+    Array.fold_left
+      (fun acc h ->
+        let dx = x -. h.cx and dy = y -. h.cy in
+        let r2 = ((dx *. dx) +. (dy *. dy)) /. (2. *. h.radius *. h.radius) in
+        let g = exp (-.r2) /. (2. *. Float.pi *. h.radius *. h.radius) in
+        acc +. (h.weight *. g))
+      0. fp.hotspots
+  in
+  fp.total_current
+  *. (uniform +. ((1. -. fp.uniform_fraction) *. spot_density))
+
+let sample_weights fp points =
+  let raw =
+    Array.map (fun (x, y) -> demand_at fp ~x ~y) points
+  in
+  let total = Array.fold_left ( +. ) 0. raw in
+  if total <= 0. then begin
+    let n = Array.length points in
+    if n = 0 then [||]
+    else Array.make n (fp.total_current /. float_of_int n)
+  end
+  else Array.map (fun w -> w /. total *. fp.total_current) raw

@@ -1,0 +1,51 @@
+(** Synthetic floorplans: die extents plus a clustered current-demand
+    map standing in for a placed design's switching-current distribution.
+
+    Demand is a mixture of Gaussian hotspots over a uniform floor,
+    normalized so that integrating {!demand_at} over the die yields
+    [total_current]; the PDN generators sample it to size per-node load
+    currents, reproducing the spatially non-uniform loads real designs
+    exhibit (the proprietary inputs of the paper's §V-C flow). *)
+
+type hotspot = {
+  cx : float;     (** m *)
+  cy : float;     (** m *)
+  radius : float; (** Gaussian sigma, m *)
+  weight : float; (** fraction of hotspot mass, > 0 *)
+}
+
+type t = {
+  width : float;          (** die width, m *)
+  height : float;         (** die height, m *)
+  total_current : float;  (** A *)
+  uniform_fraction : float; (** share of current spread uniformly *)
+  hotspots : hotspot array;
+}
+
+val make :
+  ?uniform_fraction:float -> width:float -> height:float ->
+  total_current:float -> hotspot list -> t
+(** Normalizes hotspot weights; [uniform_fraction] defaults to 0.3.
+    Raises [Invalid_argument] on non-positive dimensions or currents, or
+    when there are no hotspots and [uniform_fraction < 1]. *)
+
+val random :
+  Numerics.Rng.t -> ?num_hotspots:int -> ?uniform_fraction:float ->
+  ?radius_range:float * float -> width:float -> height:float ->
+  total_current:float -> unit -> t
+(** Hotspot centres uniform over the die; radii are drawn from
+    [radius_range] expressed as fractions of the die diagonal (default
+    0.05-0.2). [num_hotspots] defaults to 4; [uniform_fraction] to 0.3.
+    Smaller radii / lower uniform fraction give the spikier demand maps
+    of high-activity placed designs. *)
+
+val demand_at : t -> x:float -> y:float -> float
+(** Current demand density at a point, A/m^2 (unnormalized Gaussians are
+    truncated at the die boundary; normalization is approximate to a few
+    per cent, which the load-scaling step downstream absorbs). *)
+
+val sample_weights : t -> (float * float) array -> float array
+(** [sample_weights fp points] evaluates the demand at each point and
+    scales the results so they sum to [total_current]: the canonical way
+    to convert node positions into load currents. All-zero demand
+    degrades to uniform weights. *)

@@ -1,0 +1,454 @@
+module NB = Spice.Netlist.Builder
+module Rng = Numerics.Rng
+
+type net = Vdd | Vss
+
+type stripe = {
+  layer_pos : int;
+  net : net;
+  coord_nm : int;
+  lo_nm : int;
+  hi_nm : int;
+}
+
+type generated = {
+  netlist : Spice.Netlist.t;
+  tech : Tech.t;
+  node_net : (string, net) Hashtbl.t;
+  vdd_supply_of : string -> float;
+  num_wires : int;
+  num_vias : int;
+  num_pads : int;
+  num_loads : int;
+}
+
+let nm = 1e-9
+
+(* Mutable per-stripe state during meshing: the sorted-later list of node
+   positions along the stripe. *)
+type stripe_state = {
+  stripe : stripe;
+  mutable nodes : (int * string) list; (* (position along stripe, node name) *)
+}
+
+let crossing_point ~(a_layer : Tech.layer) a b =
+  (* [a] horizontal: its coord is y and the partner's is x. *)
+  match a_layer.Tech.direction with
+  | Tech.Horizontal -> (b.coord_nm, a.coord_nm)
+  | Tech.Vertical -> (a.coord_nm, b.coord_nm)
+
+let of_stripes ?(bottom_taps_nm = 0) ?supply_at ~tech ~stripes ~pad_every
+    ~floorplan ~load_fraction ~rng ~current_per_net () =
+  if Array.length stripes = 0 then invalid_arg "Grid_gen.of_stripes: no stripes";
+  if pad_every < 1 then invalid_arg "Grid_gen.of_stripes: pad_every < 1";
+  if load_fraction < 0. || load_fraction > 1. then
+    invalid_arg "Grid_gen.of_stripes: load_fraction outside [0,1]";
+  Array.iter
+    (fun s ->
+      if s.layer_pos < 0 || s.layer_pos >= Array.length tech.Tech.layers then
+        invalid_arg "Grid_gen.of_stripes: stripe layer out of range";
+      if s.hi_nm <= s.lo_nm then
+        invalid_arg "Grid_gen.of_stripes: empty stripe extent")
+    stripes;
+  let num_layers = Array.length tech.Tech.layers in
+  let builder = NB.create ~title:"synthetic power grid" () in
+  let node_net : (string, net) Hashtbl.t = Hashtbl.create 4096 in
+  let num_wires = ref 0 and num_vias = ref 0 in
+  let num_pads = ref 0 and num_loads = ref 0 in
+  (* Resistor endpoint ids for the connectivity pass. *)
+  let resistor_edges = ref [] in
+  let register_resistor n1 n2 ohms =
+    NB.add_resistor builder n1 n2 ohms;
+    resistor_edges := (NB.node builder n1, NB.node builder n2) :: !resistor_edges
+  in
+  (* Group stripes by layer, as mutable states sorted by coordinate. *)
+  let states = Array.map (fun s -> { stripe = s; nodes = [] }) stripes in
+  let by_layer = Array.make num_layers [] in
+  Array.iter
+    (fun st ->
+      by_layer.(st.stripe.layer_pos) <- st :: by_layer.(st.stripe.layer_pos))
+    states;
+  let by_layer =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort (fun s1 s2 -> compare s1.stripe.coord_nm s2.stripe.coord_nm) a;
+        a)
+      by_layer
+  in
+  (* Binary search: first index of layer array with coord >= x. *)
+  let lower_bound arr x =
+    let lo = ref 0 and hi = ref (Array.length arr) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid).stripe.coord_nm < x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let node_name layer_pos (x, y) =
+    Spice.Ibm_format.encode
+      { Spice.Ibm_format.layer = (Tech.layer_at tech layer_pos).Tech.level; x; y }
+  in
+  (* Crossings between adjacent layers: vias + node registration. *)
+  for p = 0 to num_layers - 2 do
+    let lower = by_layer.(p) in
+    let a_layer = Tech.layer_at tech p in
+    Array.iter
+      (fun upper_state ->
+        let b = upper_state.stripe in
+        let first = lower_bound lower b.lo_nm in
+        let i = ref first in
+        while
+          !i < Array.length lower && lower.(!i).stripe.coord_nm <= b.hi_nm
+        do
+          let lower_state = lower.(!i) in
+          let a = lower_state.stripe in
+          if a.net = b.net && b.coord_nm >= a.lo_nm && b.coord_nm <= a.hi_nm
+          then begin
+            let x, y = crossing_point ~a_layer a b in
+            let na = node_name p (x, y) in
+            let nb = node_name (p + 1) (x, y) in
+            if not (Hashtbl.mem node_net na) then Hashtbl.add node_net na a.net;
+            if not (Hashtbl.mem node_net nb) then Hashtbl.add node_net nb b.net;
+            register_resistor na nb tech.Tech.via_resistance;
+            incr num_vias;
+            (* Positions along each stripe: a horizontal stripe runs in x. *)
+            let pos_a, pos_b =
+              match a_layer.Tech.direction with
+              | Tech.Horizontal -> (x, y)
+              | Tech.Vertical -> (y, x)
+            in
+            lower_state.nodes <- (pos_a, na) :: lower_state.nodes;
+            upper_state.nodes <- (pos_b, nb) :: upper_state.nodes
+          end;
+          incr i
+        done)
+      by_layer.(p + 1)
+  done;
+  (* Load taps on bottom-layer rails: plain nodes between crossings. *)
+  if bottom_taps_nm > 0 then begin
+    let bottom_layer = Tech.layer_at tech 0 in
+    Array.iter
+      (fun st ->
+        if st.stripe.layer_pos = 0 && st.nodes <> [] then begin
+          let s = st.stripe in
+          let pos = ref (s.lo_nm + (bottom_taps_nm / 2)) in
+          while !pos < s.hi_nm do
+            let x, y =
+              match bottom_layer.Tech.direction with
+              | Tech.Horizontal -> (!pos, s.coord_nm)
+              | Tech.Vertical -> (s.coord_nm, !pos)
+            in
+            let name = node_name 0 (x, y) in
+            if not (Hashtbl.mem node_net name) then
+              Hashtbl.add node_net name s.net;
+            st.nodes <- (!pos, name) :: st.nodes;
+            pos := !pos + bottom_taps_nm
+          done
+        end)
+      states
+  end;
+  (* Wires: connect consecutive distinct positions along each stripe. *)
+  let sorted_nodes st =
+    let arr = Array.of_list st.nodes in
+    Array.sort compare arr;
+    (* Dedupe equal positions (a node can register once per neighbour
+       layer). *)
+    let out = ref [] in
+    Array.iter
+      (fun (pos, name) ->
+        match !out with
+        | (p, _) :: _ when p = pos -> ()
+        | _ -> out := (pos, name) :: !out)
+      arr;
+    Array.of_list (List.rev !out)
+  in
+  let stripe_nodes = Array.make (Array.length states) [||] in
+  Array.iteri
+    (fun i st ->
+      let nodes = sorted_nodes st in
+      stripe_nodes.(i) <- nodes;
+      let layer = Tech.layer_at tech st.stripe.layer_pos in
+      for k = 1 to Array.length nodes - 1 do
+        let pos0, name0 = nodes.(k - 1) and pos1, name1 = nodes.(k) in
+        let length = float_of_int (pos1 - pos0) *. nm in
+        register_resistor name0 name1 (Tech.wire_resistance layer ~length);
+        incr num_wires
+      done)
+    states;
+  (* Pads on the top layer. *)
+  let supply_of_name name =
+    match supply_at with
+    | None -> tech.Tech.supply_voltage
+    | Some f -> begin
+      match Spice.Ibm_format.decode name with
+      | Some c -> f ~x_nm:c.Spice.Ibm_format.x ~y_nm:c.Spice.Ibm_format.y
+      | None -> tech.Tech.supply_voltage
+    end
+  in
+  let pad_ids = ref [] in
+  Array.iteri
+    (fun i st ->
+      if st.stripe.layer_pos = num_layers - 1 then begin
+        let nodes = stripe_nodes.(i) in
+        let k = ref 0 in
+        while !k < Array.length nodes do
+          let _, name = nodes.(!k) in
+          let volts =
+            match st.stripe.net with
+            | Vdd -> supply_of_name name
+            | Vss -> 0.
+          in
+          NB.add_voltage_source builder name "0" volts;
+          pad_ids := NB.node builder name :: !pad_ids;
+          incr num_pads;
+          k := !k + pad_every
+        done
+      end)
+    states;
+  if !num_pads = 0 then
+    invalid_arg "Grid_gen.of_stripes: plan yields no pads (top layer empty)";
+  (* Connectivity: loads may only attach to pad-connected nodes. *)
+  ignore (NB.node builder "0");
+  let n_ids = NB.num_nodes builder in
+  let uf = Unionfind.create n_ids in
+  List.iter (fun (a, b) -> ignore (Unionfind.union uf a b)) !resistor_edges;
+  let pad_connected = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace pad_connected (Unionfind.find uf id) ()) !pad_ids;
+  (* Candidate load nodes: bottom-layer, pad-connected. *)
+  let candidates_vdd = ref [] and candidates_vss = ref [] in
+  Array.iteri
+    (fun i st ->
+      if st.stripe.layer_pos = 0 then
+        Array.iter
+          (fun (_, name) ->
+            let id = NB.node builder name in
+            if Hashtbl.mem pad_connected (Unionfind.find uf id) then begin
+              match Hashtbl.find_opt node_net name with
+              | Some Vdd -> candidates_vdd := name :: !candidates_vdd
+              | Some Vss -> candidates_vss := name :: !candidates_vss
+              | None -> ()
+            end)
+          stripe_nodes.(i))
+    states;
+  let place_loads candidates net =
+    let all = Array.of_list candidates in
+    Rng.shuffle rng all;
+    let take =
+      max (min 1 (Array.length all))
+        (int_of_float (load_fraction *. float_of_int (Array.length all)))
+    in
+    let chosen = Array.sub all 0 (min take (Array.length all)) in
+    let points =
+      Array.map
+        (fun name ->
+          match Spice.Ibm_format.decode name with
+          | Some c ->
+            (float_of_int c.Spice.Ibm_format.x *. nm,
+             float_of_int c.Spice.Ibm_format.y *. nm)
+          | None -> (0., 0.))
+        chosen
+    in
+    let fp = { floorplan with Floorplan.total_current = current_per_net } in
+    let weights = Floorplan.sample_weights fp points in
+    Array.iteri
+      (fun k name ->
+        if weights.(k) > 0. then begin
+          (match net with
+          | Vdd -> NB.add_current_source builder name "0" weights.(k)
+          | Vss -> NB.add_current_source builder "0" name weights.(k));
+          incr num_loads
+        end)
+      chosen
+  in
+  place_loads !candidates_vdd Vdd;
+  place_loads !candidates_vss Vss;
+  {
+    netlist = NB.finish builder;
+    tech;
+    node_net;
+    vdd_supply_of = supply_of_name;
+    num_wires = !num_wires;
+    num_vias = !num_vias;
+    num_pads = !num_pads;
+    num_loads = !num_loads;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Full-die interleaved plans                                           *)
+
+type spec = {
+  tech : Tech.t;
+  die_width : float;
+  die_height : float;
+  stripe_counts : int array;
+  pad_every : int;
+  load_fraction : float;
+  current_per_net : float;
+  bottom_tap_pitch : float option;
+  voltage_domains : int;
+  seed : int64;
+}
+
+(* Full-die interleaved stripes; with [voltage_domains] > 1 the die is
+   cut into vertical bands with no wires crossing a band boundary, so
+   each domain is an electrically independent grid. *)
+let full_die_stripes spec =
+  let tech = spec.tech in
+  if Array.length spec.stripe_counts <> Array.length tech.Tech.layers then
+    invalid_arg "Grid_gen: stripe_counts length mismatch";
+  if spec.voltage_domains < 1 then
+    invalid_arg "Grid_gen: voltage_domains < 1";
+  let w_nm = int_of_float (spec.die_width /. nm) in
+  let h_nm = int_of_float (spec.die_height /. nm) in
+  let domains = spec.voltage_domains in
+  let band_width = w_nm / domains in
+  let out = ref [] in
+  Array.iteri
+    (fun p count ->
+      if count < 2 then invalid_arg "Grid_gen: need at least 2 stripes per layer";
+      let layer = Tech.layer_at tech p in
+      let span_perp =
+        match layer.Tech.direction with
+        | Tech.Horizontal -> h_nm
+        | Tech.Vertical -> w_nm
+      in
+      let step = span_perp / count in
+      for s = 0 to count - 1 do
+        let net = if s mod 2 = 0 then Vdd else Vss in
+        let coord_nm = (step / 2) + (s * step) in
+        match layer.Tech.direction with
+        | Tech.Horizontal ->
+          (* Runs along x: one clipped stripe per band. *)
+          for b = 0 to domains - 1 do
+            out :=
+              {
+                layer_pos = p;
+                net;
+                coord_nm;
+                lo_nm = b * band_width;
+                hi_nm = (if b = domains - 1 then w_nm else (b + 1) * band_width);
+              }
+              :: !out
+          done
+        | Tech.Vertical ->
+          (* Runs along y inside whichever band holds its x coordinate. *)
+          out :=
+            { layer_pos = p; net; coord_nm; lo_nm = 0; hi_nm = h_nm } :: !out
+      done)
+    spec.stripe_counts;
+  Array.of_list !out
+
+let generate spec =
+  let rng = Rng.create spec.seed in
+  let floorplan =
+    Floorplan.random (Rng.split rng) ~width:spec.die_width
+      ~height:spec.die_height ~total_current:spec.current_per_net ()
+  in
+  let bottom_taps_nm =
+    match spec.bottom_tap_pitch with
+    | None -> 0
+    | Some p -> int_of_float (p /. nm)
+  in
+  let supply_at =
+    if spec.voltage_domains <= 1 then None
+    else begin
+      let w_nm = int_of_float (spec.die_width /. nm) in
+      let band_width = max 1 (w_nm / spec.voltage_domains) in
+      let base = spec.tech.Tech.supply_voltage in
+      Some
+        (fun ~x_nm ~y_nm:_ ->
+          let band = min (spec.voltage_domains - 1) (x_nm / band_width) in
+          (* Stepped supplies: each band 10% below the previous. *)
+          base *. (1. -. (0.1 *. float_of_int band)))
+    end
+  in
+  of_stripes ~bottom_taps_nm ?supply_at ~tech:spec.tech
+    ~stripes:(full_die_stripes spec) ~pad_every:spec.pad_every ~floorplan
+    ~load_fraction:spec.load_fraction ~rng
+    ~current_per_net:spec.current_per_net ()
+
+let estimate_edges spec =
+  let s = spec.stripe_counts in
+  let n = Array.length s in
+  let acc = ref 0 in
+  for p = 0 to n - 2 do
+    (* Same-net crossings: ceil/2 x ceil/2 + floor/2 x floor/2. *)
+    let vdd = (s.(p) + 1) / 2 * ((s.(p + 1) + 1) / 2) in
+    let vss = s.(p) / 2 * (s.(p + 1) / 2) in
+    let vias = vdd + vss in
+    (* One via plus (asymptotically) two wire segments per crossing:
+       the crossing adds a node to the stripe on each side. *)
+    acc := !acc + (3 * vias)
+  done;
+  (* Each stripe's node chain has one fewer wire than nodes. *)
+  Array.iter (fun c -> acc := !acc - c) s;
+  (* Load taps subdivide bottom-layer rails: one extra wire per tap. *)
+  (match spec.bottom_tap_pitch with
+  | None -> ()
+  | Some pitch ->
+    let along =
+      match (Tech.bottom spec.tech).Tech.direction with
+      | Tech.Horizontal -> spec.die_width
+      | Tech.Vertical -> spec.die_height
+    in
+    acc := !acc + (s.(0) * int_of_float (along /. pitch)));
+  !acc
+
+let scale_spec spec factor =
+  if factor <= 0. then invalid_arg "Grid_gen.scale_spec";
+  {
+    spec with
+    stripe_counts =
+      Array.map
+        (fun c -> max 2 (int_of_float (Float.round (float_of_int c *. factor))))
+        spec.stripe_counts;
+  }
+
+type ibm_size = Pg1 | Pg2 | Pg3 | Pg6
+
+let ibm_size_name = function
+  | Pg1 -> "ibmpg1-like"
+  | Pg2 -> "ibmpg2-like"
+  | Pg3 -> "ibmpg3-like"
+  | Pg6 -> "ibmpg6-like"
+
+let ibm_paper_edges = function
+  | Pg1 -> 29750
+  | Pg2 -> 125668
+  | Pg3 -> 835071
+  | Pg6 -> 1648621
+
+(* Stripe counts calibrated (bin/calibrate.ml) so the generated resistor
+   count hits Table II's |E| column with 4 um load taps and a 20 um M1
+   pitch; per-net currents graded so the hotter, older grids (pg1/pg2)
+   show the Blech-flagged (TN/FN) populations of the paper while
+   pg3/pg6 stay in the short-segment false-positive regime. *)
+let ibm_preset ?(scale = 1.) size =
+  let stripe_counts, current_density =
+    match size with
+    | Pg1 -> ([| 66; 55; 27; 13 |], 1.1e7)
+    | Pg2 -> ([| 135; 110; 55; 26 |], 4.0e6)
+    | Pg3 -> ([| 351; 280; 139; 66 |], 1.2e6)
+    | Pg6 -> ([| 491; 398; 199; 93 |], 5.0e5)
+  in
+  let counts =
+    if scale = 1. then stripe_counts
+    else
+      Array.map
+        (fun c -> max 2 (int_of_float (Float.round (float_of_int c *. scale))))
+        stripe_counts
+  in
+  let die = float_of_int counts.(0) *. 20e-6 in
+  {
+    tech = Tech.ibm_like;
+    die_width = die;
+    die_height = die;
+    stripe_counts = counts;
+    pad_every = 8;
+    load_fraction = 0.35;
+    current_per_net = current_density *. die *. die;
+    bottom_tap_pitch = Some 4e-6;
+    voltage_domains = 1;
+    seed = 424242L;
+  }

@@ -1,0 +1,219 @@
+module Rng = Numerics.Rng
+
+type template = { name : string; pitch_multiplier : float }
+
+let default_templates =
+  [|
+    { name = "dense"; pitch_multiplier = 0.5 };
+    { name = "medium"; pitch_multiplier = 1.0 };
+    { name = "sparse"; pitch_multiplier = 2.0 };
+  |]
+
+type spec = {
+  tech : Tech.t;
+  die_width : float;
+  die_height : float;
+  regions : int;
+  templates : template array;
+  pad_every : int;
+  load_fraction : float;
+  current_per_net : float;
+  bottom_tap_pitch : float option;
+  seed : int64;
+}
+
+let nm = 1e-9
+
+(* Demand score of each region: average density over a 3x3 sample. *)
+let region_demands spec fp =
+  let r = spec.regions in
+  let rw = spec.die_width /. float_of_int r in
+  let rh = spec.die_height /. float_of_int r in
+  Array.init (r * r) (fun idx ->
+      let rx = idx mod r and ry = idx / r in
+      let acc = ref 0. in
+      for i = 0 to 2 do
+        for j = 0 to 2 do
+          let x = (float_of_int rx +. ((float_of_int i +. 0.5) /. 3.)) *. rw in
+          let y = (float_of_int ry +. ((float_of_int j +. 0.5) /. 3.)) *. rh in
+          acc := !acc +. Floorplan.demand_at fp ~x ~y
+        done
+      done;
+      !acc /. 9.)
+
+let assign_templates spec fp =
+  if spec.regions < 1 then invalid_arg "Openpdn: regions < 1";
+  if Array.length spec.templates = 0 then invalid_arg "Openpdn: no templates";
+  let demands = region_demands spec fp in
+  let n = Array.length demands in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare demands.(a) demands.(b)) order;
+  let t = Array.length spec.templates in
+  let assignment = Array.make n 0 in
+  Array.iteri
+    (fun rank region ->
+      (* Lowest demand -> sparsest (last template); highest -> densest. *)
+      let quantile = rank * t / n in
+      assignment.(region) <- t - 1 - quantile)
+    order;
+  assignment
+
+let full_die_layer_stripes spec p acc =
+  let layer = Tech.layer_at spec.tech p in
+  let w_nm = int_of_float (spec.die_width /. nm) in
+  let h_nm = int_of_float (spec.die_height /. nm) in
+  let span_perp, span_along =
+    match layer.Tech.direction with
+    | Tech.Horizontal -> (h_nm, w_nm)
+    | Tech.Vertical -> (w_nm, h_nm)
+  in
+  let pitch_nm = int_of_float (layer.Tech.pitch /. nm) in
+  let count = max 2 (span_perp / pitch_nm) in
+  let step = span_perp / count in
+  let out = ref acc in
+  for s = 0 to count - 1 do
+    out :=
+      {
+        Grid_gen.layer_pos = p;
+        net = (if s mod 2 = 0 then Grid_gen.Vdd else Grid_gen.Vss);
+        coord_nm = (step / 2) + (s * step);
+        lo_nm = 0;
+        hi_nm = span_along;
+      }
+      :: !out
+  done;
+  !out
+
+let region_layer_stripes spec p multiplier ~rx ~ry acc =
+  let layer = Tech.layer_at spec.tech p in
+  let r = spec.regions in
+  let rw_nm = int_of_float (spec.die_width /. nm) / r in
+  let rh_nm = int_of_float (spec.die_height /. nm) / r in
+  let x0 = rx * rw_nm and y0 = ry * rh_nm in
+  let perp0, perp_span, along0, along_span =
+    match layer.Tech.direction with
+    | Tech.Horizontal -> (y0, rh_nm, x0, rw_nm)
+    | Tech.Vertical -> (x0, rw_nm, y0, rh_nm)
+  in
+  let pitch_nm =
+    max 1 (int_of_float (layer.Tech.pitch *. multiplier /. nm))
+  in
+  let count = max 2 (perp_span / pitch_nm) in
+  let step = perp_span / count in
+  let out = ref acc in
+  for s = 0 to count - 1 do
+    out :=
+      {
+        Grid_gen.layer_pos = p;
+        net = (if s mod 2 = 0 then Grid_gen.Vdd else Grid_gen.Vss);
+        coord_nm = perp0 + (step / 2) + (s * step);
+        lo_nm = along0;
+        hi_nm = along0 + along_span;
+      }
+      :: !out
+  done;
+  !out
+
+let synthesize ?floorplan spec =
+  let rng = Rng.create spec.seed in
+  let fp =
+    match floorplan with
+    | Some fp -> fp
+    | None ->
+      (* Placed designs show spiky switching-current maps: tight
+         hotspots over a thin uniform background. *)
+      Floorplan.random (Rng.split rng) ~num_hotspots:5 ~uniform_fraction:0.08
+        ~radius_range:(0.02, 0.05) ~width:spec.die_width
+        ~height:spec.die_height ~total_current:spec.current_per_net ()
+  in
+  let assignment = assign_templates spec fp in
+  let num_layers = Array.length spec.tech.Tech.layers in
+  if num_layers < 3 then invalid_arg "Openpdn: need at least 3 PDN layers";
+  let stripes = ref [] in
+  (* Continuous bottom and top layers. *)
+  stripes := full_die_layer_stripes spec 0 !stripes;
+  stripes := full_die_layer_stripes spec (num_layers - 1) !stripes;
+  (* Templated intermediate layers per region. *)
+  for p = 1 to num_layers - 2 do
+    for ry = 0 to spec.regions - 1 do
+      for rx = 0 to spec.regions - 1 do
+        let template =
+          spec.templates.(assignment.((ry * spec.regions) + rx))
+        in
+        stripes :=
+          region_layer_stripes spec p template.pitch_multiplier ~rx ~ry !stripes
+      done
+    done
+  done;
+  let bottom_taps_nm =
+    match spec.bottom_tap_pitch with
+    | None -> 0
+    | Some p -> int_of_float (p /. 1e-9)
+  in
+  Grid_gen.of_stripes ~bottom_taps_nm ~tech:spec.tech
+    ~stripes:(Array.of_list !stripes) ~pad_every:spec.pad_every ~floorplan:fp
+    ~load_fraction:spec.load_fraction ~rng
+    ~current_per_net:spec.current_per_net ()
+
+(* ------------------------------------------------------------------ *)
+(* Table III circuits                                                  *)
+
+type node_kind = N28 | N45
+
+type circuit = {
+  circuit_name : string;
+  node : node_kind;
+  paper_edges : int;
+  die : float;
+  current : float;
+}
+
+let um = 1e-6
+
+(* Die edges calibrated (bin/calibrate.ml) so the synthesized resistor
+   counts land on Table III's |E| column (see DESIGN.md E5). *)
+let table3_circuits =
+  let mk name node paper_edges die_um =
+    let die = die_um *. um in
+    {
+      circuit_name = name;
+      node;
+      paper_edges;
+      die;
+      (* ~2e5 A/m^2 of average switching demand. *)
+      current = 2e5 *. die *. die;
+    }
+  in
+  [
+    mk "gcd" N28 678 46.0;
+    mk "aes" N28 11361 195.9;
+    mk "jpeg" N28 123220 633.7;
+    mk "dynamic_node" N45 6270 385.0;
+    mk "aes" N45 7212 415.0;
+    mk "ibex" N45 12128 535.0;
+    mk "jpeg" N45 35848 919.8;
+    mk "swerv" N45 59049 1185.0;
+  ]
+
+let circuit_spec c =
+  let tech = match c.node with N28 -> Tech.n28 | N45 -> Tech.nangate45 in
+  let regions =
+    if c.die < 200. *. um then 2 else if c.die < 600. *. um then 3 else 4
+  in
+  {
+    tech;
+    die_width = c.die;
+    die_height = c.die;
+    regions;
+    templates = default_templates;
+    pad_every = 4;
+    load_fraction = 0.4;
+    current_per_net = c.current;
+    bottom_tap_pitch =
+      Some (match c.node with N28 -> 2.0e-6 | N45 -> 10.0e-6);
+    seed =
+      Int64.of_int
+        (Hashtbl.hash (c.circuit_name, (match c.node with N28 -> 28 | N45 -> 45)));
+  }
+
+let synthesize_circuit c = synthesize (circuit_spec c)

@@ -1,0 +1,60 @@
+(** Template-based PDN synthesis in the spirit of OpeNPDN (the paper's
+    ref [25]) for the OpenROAD-flow experiments (Table III / Fig. 8).
+
+    The die is divided into a [regions x regions] grid. The bottom and
+    top PDN layers run uninterrupted across the die; each intermediate
+    layer is striped {e per region}, with the stripe pitch chosen from a
+    small template set according to the region's current demand — a
+    rule-based stand-in for OpeNPDN's CNN classifier: the highest-demand
+    regions get the densest template. The resulting stripe plan is meshed
+    by {!Grid_gen.of_stripes}. *)
+
+type template = {
+  name : string;
+  pitch_multiplier : float; (** applied to intermediate layers' pitches *)
+}
+
+val default_templates : template array
+(** dense (0.5x), medium (1x), sparse (2x). *)
+
+type spec = {
+  tech : Tech.t;
+  die_width : float;
+  die_height : float;
+  regions : int;            (** region grid dimension, >= 1 *)
+  templates : template array;
+  pad_every : int;
+  load_fraction : float;
+  current_per_net : float;
+  bottom_tap_pitch : float option;
+  (** standard-cell load-tap pitch on the bottom rail layer, m *)
+  seed : int64;
+}
+
+val assign_templates : spec -> Floorplan.t -> int array
+(** Template index per region (row-major), by demand terciles. *)
+
+val synthesize : ?floorplan:Floorplan.t -> spec -> Grid_gen.generated
+(** The floorplan defaults to a random one derived from [seed]. *)
+
+(** {1 Table III circuits}
+
+    Synthetic stand-ins for the paper's P&R'd circuits, sized so the
+    grids' resistor counts land near the |E| column of Table III. *)
+
+type node_kind = N28 | N45
+
+type circuit = {
+  circuit_name : string;
+  node : node_kind;
+  paper_edges : int; (** |E| from Table III *)
+  die : float;       (** square die edge, m *)
+  current : float;   (** A per net before IR scaling *)
+}
+
+val table3_circuits : circuit list
+(** gcd/aes/jpeg at 28nm; dynamic_node/aes/ibex/jpeg/swerv at 45nm. *)
+
+val circuit_spec : circuit -> spec
+
+val synthesize_circuit : circuit -> Grid_gen.generated

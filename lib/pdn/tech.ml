@@ -1,0 +1,128 @@
+type direction = Horizontal | Vertical
+
+type layer = {
+  name : string;
+  level : int;
+  direction : direction;
+  pitch : float;
+  width : float;
+  thickness : float;
+  resistivity : float;
+  j_dc_limit : float;
+}
+
+type t = {
+  name : string;
+  layers : layer array;
+  via_resistance : float;
+  supply_voltage : float;
+}
+
+let um = 1e-6
+
+let check t =
+  Array.iteri
+    (fun i layer ->
+      if i > 0 && layer.direction = t.layers.(i - 1).direction then
+        invalid_arg "Tech: adjacent PDN layers must alternate direction";
+      if layer.width <= 0. || layer.thickness <= 0. || layer.pitch <= 0. then
+        invalid_arg "Tech: non-positive layer geometry")
+    t.layers;
+  t
+
+(* Cu bulk resistivity is 1.7e-8 Ohm*m; narrow damascene lines see higher
+   effective values from barrier and scattering effects. *)
+let ibm_like =
+  check
+    {
+      name = "ibm-like legacy grid (treated as Cu DD)";
+      layers =
+        [|
+          { name = "M1"; level = 1; direction = Horizontal; pitch = 20. *. um;
+            width = 0.4 *. um; thickness = 0.3 *. um; resistivity = 2.25e-8;
+            j_dc_limit = 2e10 };
+          { name = "M3"; level = 3; direction = Vertical; pitch = 40. *. um;
+            width = 0.8 *. um; thickness = 0.5 *. um; resistivity = 2.25e-8;
+            j_dc_limit = 2e10 };
+          { name = "M5"; level = 5; direction = Horizontal; pitch = 80. *. um;
+            width = 1.6 *. um; thickness = 0.9 *. um; resistivity = 2.2e-8;
+            j_dc_limit = 2e10 };
+          { name = "M7"; level = 7; direction = Vertical; pitch = 160. *. um;
+            width = 3.2 *. um; thickness = 1.6 *. um; resistivity = 2.2e-8;
+            j_dc_limit = 2e10 };
+        |];
+      via_resistance = 0.5;
+      supply_voltage = 1.8;
+    }
+
+let n28 =
+  check
+    {
+      name = "generic 28nm Cu stack";
+      layers =
+        [|
+          { name = "M2"; level = 2; direction = Horizontal; pitch = 2. *. um;
+            width = 0.1 *. um; thickness = 0.12 *. um; resistivity = 3.0e-8;
+            j_dc_limit = 2e10 };
+          { name = "M5"; level = 5; direction = Vertical; pitch = 15. *. um;
+            width = 0.3 *. um; thickness = 0.3 *. um; resistivity = 2.6e-8;
+            j_dc_limit = 2e10 };
+          { name = "M8"; level = 8; direction = Horizontal; pitch = 40. *. um;
+            width = 0.8 *. um; thickness = 0.8 *. um; resistivity = 2.3e-8;
+            j_dc_limit = 2e10 };
+          { name = "M9"; level = 9; direction = Vertical; pitch = 80. *. um;
+            width = 2.0 *. um; thickness = 1.8 *. um; resistivity = 2.25e-8;
+            j_dc_limit = 2e10 };
+        |];
+      via_resistance = 2.0;
+      supply_voltage = 0.9;
+    }
+
+let nangate45 =
+  check
+    {
+      name = "Nangate45-styled Cu stack";
+      layers =
+        [|
+          { name = "M4"; level = 4; direction = Horizontal; pitch = 4. *. um;
+            width = 0.28 *. um; thickness = 0.28 *. um; resistivity = 2.6e-8;
+            j_dc_limit = 2e10 };
+          { name = "M7"; level = 7; direction = Vertical; pitch = 25. *. um;
+            width = 0.8 *. um; thickness = 0.8 *. um; resistivity = 2.4e-8;
+            j_dc_limit = 2e10 };
+          { name = "M9"; level = 9; direction = Horizontal; pitch = 60. *. um;
+            width = 1.6 *. um; thickness = 2.0 *. um; resistivity = 2.25e-8;
+            j_dc_limit = 2e10 };
+          { name = "M10"; level = 10; direction = Vertical; pitch = 100. *. um;
+            width = 4.0 *. um; thickness = 4.0 *. um; resistivity = 2.25e-8;
+            j_dc_limit = 2e10 };
+        |];
+      via_resistance = 1.0;
+      supply_voltage = 1.1;
+    }
+
+let sheet_resistance layer = layer.resistivity /. layer.thickness
+
+let wire_resistance layer ~length =
+  sheet_resistance layer *. length /. layer.width
+
+let layer_at t i =
+  if i < 0 || i >= Array.length t.layers then invalid_arg "Tech.layer_at";
+  t.layers.(i)
+
+let top t = t.layers.(Array.length t.layers - 1)
+
+let bottom t = t.layers.(0)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s (%.2g V, via %.2g Ohm):" t.name t.supply_voltage
+    t.via_resistance;
+  Array.iter
+    (fun (layer : layer) ->
+      Format.fprintf ppf "@,  %-4s %s pitch %5.1fum width %5.2fum t %5.2fum rho %.3g"
+        layer.name
+        (match layer.direction with Horizontal -> "H" | Vertical -> "V")
+        (layer.pitch /. um) (layer.width /. um) (layer.thickness /. um)
+        layer.resistivity)
+    t.layers;
+  Format.fprintf ppf "@]"

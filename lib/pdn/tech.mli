@@ -1,0 +1,59 @@
+(** Technology descriptions for power-grid synthesis.
+
+    A technology is a stack of routing layers usable for the power grid,
+    with alternating preferred directions (the reserved-layer model the
+    paper's §V assumes). Dimensions are modelled on public data: the
+    Nangate45 stack for [nangate45], a generic foundry 28nm-class stack
+    for [n28], and a coarse legacy stack for [ibm_like] (the IBM grids
+    were designed for Al wires; per the paper we treat them as modern Cu
+    dual-damascene). These are engineering approximations — the paper's
+    commercial 28nm data is proprietary — and only the resulting
+    resistance/current-density ranges matter for the experiments. *)
+
+type direction = Horizontal | Vertical
+
+type layer = {
+  name : string;
+  level : int;          (** 1-based metal level within the PDN stack *)
+  direction : direction;
+  pitch : float;        (** default stripe pitch, m *)
+  width : float;        (** stripe width, m *)
+  thickness : float;    (** m *)
+  resistivity : float;  (** effective rho, Ohm*m (includes size effects) *)
+  j_dc_limit : float;
+      (** classical DC current-density sign-off limit (A/m^2), the
+          Black-equation-derived number design manuals publish; used by
+          the j-limit comparison filter, not by the physics-based test *)
+}
+
+type t = {
+  name : string;
+  layers : layer array;  (** bottom-up; directions must alternate *)
+  via_resistance : float; (** Ohm, single cut *)
+  supply_voltage : float; (** V *)
+}
+
+val ibm_like : t
+(** 4-layer coarse grid in the spirit of the IBM PG benchmarks
+    (1.8 V supply). *)
+
+val n28 : t
+(** Generic 28nm-class Cu stack, 0.9 V supply. *)
+
+val nangate45 : t
+(** Nangate 45nm open cell library-styled stack, 1.1 V supply. *)
+
+val sheet_resistance : layer -> float
+(** rho / thickness, Ohm/sq. *)
+
+val wire_resistance : layer -> length:float -> float
+(** Resistance of a stripe segment of the layer's width. *)
+
+val layer_at : t -> int -> layer
+(** By position in the stack (0-based). Raises on out-of-range. *)
+
+val top : t -> layer
+
+val bottom : t -> layer
+
+val pp : Format.formatter -> t -> unit

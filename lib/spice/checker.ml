@@ -1,0 +1,67 @@
+type severity = Warning | Error
+
+type finding = { severity : severity; code : string; message : string }
+
+let finding severity code fmt =
+  Printf.ksprintf (fun message -> { severity; code; message }) fmt
+
+let check (net : Netlist.t) =
+  let out = ref [] in
+  let add f = out := f :: !out in
+  (* Duplicate element names. *)
+  let names = Hashtbl.create 256 in
+  let name_of = function
+    | Netlist.Resistor { name; _ }
+    | Netlist.Current_source { name; _ }
+    | Netlist.Voltage_source { name; _ } -> name
+  in
+  Array.iter
+    (fun e ->
+      let name = name_of e in
+      if Hashtbl.mem names name then
+        add (finding Warning "duplicate-element" "element name %S reused" name)
+      else Hashtbl.add names name ())
+    net.Netlist.elements;
+  (* Conductive touch per node; element kind counts. *)
+  let touched = Array.make (Netlist.num_nodes net) false in
+  let resistors = ref 0 and vsources = ref 0 and shorts = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Netlist.Resistor { pos; neg; ohms; _ } ->
+        incr resistors;
+        if ohms = 0. then incr shorts;
+        touched.(pos) <- true;
+        touched.(neg) <- true
+      | Netlist.Voltage_source { pos; neg; _ } ->
+        incr vsources;
+        touched.(pos) <- true;
+        touched.(neg) <- true
+      | Netlist.Current_source { amps; name; _ } ->
+        if amps = 0. then
+          add (finding Warning "zero-current-load" "current source %S is 0 A" name))
+    net.Netlist.elements;
+  Array.iteri
+    (fun i t ->
+      if not t then
+        add
+          (finding Warning "isolated-node" "node %S has no conductive element"
+             (Netlist.node_name net i)))
+    touched;
+  if !resistors = 0 then
+    add (finding Error "no-resistors" "netlist contains no resistors");
+  if !vsources = 0 then
+    add (finding Error "no-supply" "netlist contains no voltage sources");
+  if !shorts > 0 then
+    add
+      (finding Warning "short" "%d zero-ohm resistor(s) will be merged as shorts"
+         !shorts);
+  List.rev !out
+
+let errors findings =
+  List.filter (fun f -> f.severity = Error) findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s [%s]: %s"
+    (match f.severity with Warning -> "warning" | Error -> "error")
+    f.code f.message

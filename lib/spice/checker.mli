@@ -1,0 +1,28 @@
+(** Netlist lints: structural problems worth flagging before analysis.
+
+    None of these stop {!Mna.solve} (which has its own hard errors); they
+    catch benchmark-file damage early — truncated decks, duplicated
+    element names, dead nodes — and are surfaced by `emcheck analyze`. *)
+
+type severity = Warning | Error
+
+type finding = {
+  severity : severity;
+  code : string;    (** stable identifier, e.g. "duplicate-element" *)
+  message : string;
+}
+
+val check : Netlist.t -> finding list
+(** Performed lints:
+    - ["duplicate-element"] (warning): two elements share a name;
+    - ["isolated-node"] (warning): a node no element touches conductively
+      (interned but dead, or touched only by current sources);
+    - ["no-resistors"] (error): nothing to analyze;
+    - ["no-supply"] (error): no voltage source at all;
+    - ["zero-current-load"] (warning): a 0 A current source;
+    - ["short"] (warning): count of zero-ohm resistors (merged as shorts
+      by the solver), one summary finding. *)
+
+val errors : finding list -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit

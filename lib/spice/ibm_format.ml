@@ -1,0 +1,27 @@
+type coords = { layer : int; x : int; y : int }
+
+let encode { layer; x; y } = Printf.sprintf "n%d_%d_%d" layer x y
+
+let decode name =
+  let n = String.length name in
+  if n < 6 || name.[0] <> 'n' then None
+  else begin
+    match String.split_on_char '_' (String.sub name 1 (n - 1)) with
+    | [ l; x; y ] -> begin
+      match (int_of_string_opt l, int_of_string_opt x, int_of_string_opt y) with
+      | Some layer, Some x, Some y -> Some { layer; x; y }
+      | _ -> None
+    end
+    | _ -> None
+  end
+
+let is_ground name = String.equal name "0"
+
+let layer_of name = Option.map (fun c -> c.layer) (decode name)
+
+let same_layer a b =
+  match (layer_of a, layer_of b) with
+  | Some la, Some lb -> la = lb
+  | _ -> false
+
+let manhattan_distance a b = abs (a.x - b.x) + abs (a.y - b.y)

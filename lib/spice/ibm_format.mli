@@ -1,0 +1,20 @@
+(** IBM power-grid-benchmark node naming:
+    [n<layer>_<x>_<y>] with integer coordinates (benchmark distance
+    units; we generate coordinates in nanometres), ground ["0"].
+    Other names (pad/package nodes like ["X12"]) carry no geometry. *)
+
+type coords = { layer : int; x : int; y : int }
+
+val encode : coords -> string
+
+val decode : string -> coords option
+(** [None] for ground and non-geometric names. *)
+
+val is_ground : string -> bool
+
+val layer_of : string -> int option
+
+val same_layer : string -> string -> bool
+(** True when both decode and share a layer. *)
+
+val manhattan_distance : coords -> coords -> int

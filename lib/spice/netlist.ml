@@ -1,0 +1,165 @@
+type element =
+  | Resistor of { name : string; pos : int; neg : int; ohms : float }
+  | Current_source of { name : string; pos : int; neg : int; amps : float }
+  | Voltage_source of { name : string; pos : int; neg : int; volts : float }
+
+type t = {
+  title : string;
+  node_names : string array;
+  elements : element array;
+  ground : int option;
+}
+
+let num_nodes t = Array.length t.node_names
+
+let node_name t i =
+  if i < 0 || i >= num_nodes t then invalid_arg "Netlist.node_name";
+  t.node_names.(i)
+
+module Builder = struct
+  type nonrec netlist = t
+
+  type t = {
+    title : string;
+    node_index : (string, int) Hashtbl.t;
+    mutable names_rev : string list;
+    mutable num_nodes : int;
+    mutable elements_rev : element list;
+    mutable num_elements : int;
+    mutable auto_id : int;
+  }
+
+  let create ?(title = "blech netlist") () =
+    {
+      title;
+      node_index = Hashtbl.create 1024;
+      names_rev = [];
+      num_nodes = 0;
+      elements_rev = [];
+      num_elements = 0;
+      auto_id = 0;
+    }
+
+  let node b name =
+    match Hashtbl.find_opt b.node_index name with
+    | Some i -> i
+    | None ->
+      let i = b.num_nodes in
+      Hashtbl.add b.node_index name i;
+      b.names_rev <- name :: b.names_rev;
+      b.num_nodes <- b.num_nodes + 1;
+      i
+
+  let auto_name b prefix =
+    b.auto_id <- b.auto_id + 1;
+    Printf.sprintf "%s%d" prefix b.auto_id
+
+  let push b e =
+    b.elements_rev <- e :: b.elements_rev;
+    b.num_elements <- b.num_elements + 1
+
+  let add_resistor b ?name n1 n2 ohms =
+    if ohms < 0. then invalid_arg "Netlist: negative resistance";
+    let name = match name with Some n -> n | None -> auto_name b "R" in
+    push b (Resistor { name; pos = node b n1; neg = node b n2; ohms })
+
+  let add_current_source b ?name n1 n2 amps =
+    let name = match name with Some n -> n | None -> auto_name b "I" in
+    push b (Current_source { name; pos = node b n1; neg = node b n2; amps })
+
+  let add_voltage_source b ?name n1 n2 volts =
+    let name = match name with Some n -> n | None -> auto_name b "V" in
+    push b (Voltage_source { name; pos = node b n1; neg = node b n2; volts })
+
+  let count_elements b = b.num_elements
+
+  let num_nodes b = b.num_nodes
+
+  let finish b : netlist =
+    let node_names = Array.of_list (List.rev b.names_rev) in
+    {
+      title = b.title;
+      node_names;
+      elements = Array.of_list (List.rev b.elements_rev);
+      ground = Hashtbl.find_opt b.node_index "0";
+    }
+end
+
+let find_node t name =
+  (* Linear scan is avoided by rebuilding a table; netlists are immutable
+     so cache it lazily per call site instead: callers that need many
+     lookups should keep their own table. Here a scan is acceptable for
+     the rare diagnostic lookup. *)
+  let rec search i =
+    if i >= Array.length t.node_names then None
+    else if String.equal t.node_names.(i) name then Some i
+    else search (i + 1)
+  in
+  search 0
+
+type stats = {
+  nodes : int;
+  resistors : int;
+  current_sources : int;
+  voltage_sources : int;
+}
+
+let stats t =
+  let r = ref 0 and i = ref 0 and v = ref 0 in
+  Array.iter
+    (function
+      | Resistor _ -> incr r
+      | Current_source _ -> incr i
+      | Voltage_source _ -> incr v)
+    t.elements;
+  {
+    nodes = num_nodes t;
+    resistors = !r;
+    current_sources = !i;
+    voltage_sources = !v;
+  }
+
+let pp_stats ppf t =
+  let s = stats t in
+  Format.fprintf ppf "%s: %d nodes, %d R, %d I, %d V" t.title s.nodes
+    s.resistors s.current_sources s.voltage_sources
+
+let output oc t =
+  Printf.fprintf oc "* %s\n" t.title;
+  Array.iter
+    (fun e ->
+      match e with
+      | Resistor { name; pos; neg; ohms } ->
+        Printf.fprintf oc "%s %s %s %.10g\n" name t.node_names.(pos)
+          t.node_names.(neg) ohms
+      | Current_source { name; pos; neg; amps } ->
+        Printf.fprintf oc "%s %s %s %.10g\n" name t.node_names.(pos)
+          t.node_names.(neg) amps
+      | Voltage_source { name; pos; neg; volts } ->
+        Printf.fprintf oc "%s %s %s %.10g\n" name t.node_names.(pos)
+          t.node_names.(neg) volts)
+    t.elements;
+  Printf.fprintf oc ".op\n.end\n"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "* %s\n" t.title);
+  Array.iter
+    (fun e ->
+      let line =
+        match e with
+        | Resistor { name; pos; neg; ohms } ->
+          Printf.sprintf "%s %s %s %.10g" name t.node_names.(pos)
+            t.node_names.(neg) ohms
+        | Current_source { name; pos; neg; amps } ->
+          Printf.sprintf "%s %s %s %.10g" name t.node_names.(pos)
+            t.node_names.(neg) amps
+        | Voltage_source { name; pos; neg; volts } ->
+          Printf.sprintf "%s %s %s %.10g" name t.node_names.(pos)
+            t.node_names.(neg) volts
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    t.elements;
+  Buffer.add_string buf ".op\n.end\n";
+  Buffer.contents buf

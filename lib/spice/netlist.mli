@@ -1,0 +1,73 @@
+(** Power-grid netlists: the SPICE subset used by the IBM power grid
+    benchmarks (resistors, DC current loads, DC voltage pads).
+
+    Nodes are interned strings; node "0" is ground by convention. Sign
+    conventions follow SPICE: a current source [I n+ n- x] drives [x]
+    amperes of conventional current from [n+] through itself to [n-]
+    (i.e. it {e sinks} [x] A from the circuit at [n+]); a voltage source
+    [V n+ n- x] fixes [v(n+) - v(n-) = x]. *)
+
+type element =
+  | Resistor of { name : string; pos : int; neg : int; ohms : float }
+  | Current_source of { name : string; pos : int; neg : int; amps : float }
+  | Voltage_source of { name : string; pos : int; neg : int; volts : float }
+
+type t = private {
+  title : string;
+  node_names : string array;
+  elements : element array;
+  ground : int option; (** index of node "0" when present *)
+}
+
+val num_nodes : t -> int
+
+val node_name : t -> int -> string
+
+val find_node : t -> string -> int option
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+
+  type t
+
+  val create : ?title:string -> unit -> t
+
+  val node : t -> string -> int
+  (** Intern a node name (idempotent). *)
+
+  val add_resistor : t -> ?name:string -> string -> string -> float -> unit
+  (** [add_resistor b n1 n2 ohms]; negative resistance is rejected, zero
+      is allowed (short, merged during analysis). *)
+
+  val add_current_source : t -> ?name:string -> string -> string -> float -> unit
+
+  val add_voltage_source : t -> ?name:string -> string -> string -> float -> unit
+
+  val count_elements : t -> int
+
+  val num_nodes : t -> int
+  (** Nodes interned so far (ids are dense in [0 .. num_nodes - 1]). *)
+
+  val finish : t -> netlist
+end
+
+(** {1 Statistics and output} *)
+
+type stats = {
+  nodes : int;
+  resistors : int;
+  current_sources : int;
+  voltage_sources : int;
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> t -> unit
+
+val output : out_channel -> t -> unit
+(** Write in IBM-power-grid-benchmark SPICE style ([.op] / [.end]
+    trailer); {!Parser.parse_string} inverts it. *)
+
+val to_string : t -> string

@@ -1,0 +1,95 @@
+exception Parse_error of { line : int; message : string }
+
+let suffix_scale = function
+  | "" -> Some 1.
+  | "t" -> Some 1e12
+  | "g" -> Some 1e9
+  | "meg" -> Some 1e6
+  | "k" -> Some 1e3
+  | "m" -> Some 1e-3
+  | "u" -> Some 1e-6
+  | "n" -> Some 1e-9
+  | "p" -> Some 1e-12
+  | "f" -> Some 1e-15
+  | _ -> None
+
+let parse_value raw =
+  let s = String.lowercase_ascii (String.trim raw) in
+  if s = "" then failwith "empty numeric literal";
+  (* Longest numeric prefix, then a recognised suffix (trailing unit
+     letters after the scale, like "15.6ma", are tolerated by SPICE; we
+     accept a bare scale suffix only, to stay strict). *)
+  let n = String.length s in
+  let is_num_char i c =
+    match c with
+    | '0' .. '9' | '.' -> true
+    | '+' | '-' -> i = 0 || (i > 0 && (s.[i - 1] = 'e'))
+    | 'e' -> i > 0
+    | _ -> false
+  in
+  let split = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       if is_num_char i s.[i] then incr split else raise Exit
+     done
+   with Exit -> ());
+  let num = String.sub s 0 !split in
+  let suffix = String.sub s !split (n - !split) in
+  match (float_of_string_opt num, suffix_scale suffix) with
+  | Some v, Some scale -> v *. scale
+  | _ -> failwith (Printf.sprintf "malformed numeric literal %S" raw)
+
+let split_fields line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun f -> f <> "")
+
+let parse_into builder lineno line =
+  let fail message = raise (Parse_error { line = lineno; message }) in
+  let line =
+    match String.index_opt line '$' with
+    | Some i -> String.sub line 0 i (* inline comments *)
+    | None -> line
+  in
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '*' then ()
+  else if trimmed.[0] = '.' then () (* .op / .end / other cards *)
+  else begin
+    match split_fields trimmed with
+    | [ name; n1; n2; value ] -> begin
+      let v =
+        try parse_value value with Failure m -> fail m
+      in
+      match Char.lowercase_ascii name.[0] with
+      | 'r' ->
+        if v < 0. then fail "negative resistance";
+        Netlist.Builder.add_resistor builder ~name n1 n2 v
+      | 'i' -> Netlist.Builder.add_current_source builder ~name n1 n2 v
+      | 'v' -> Netlist.Builder.add_voltage_source builder ~name n1 n2 v
+      | _ -> fail (Printf.sprintf "unsupported element %S" name)
+    end
+    | fields ->
+      fail (Printf.sprintf "expected 4 fields, found %d" (List.length fields))
+  end
+
+let parse_string ?(title = "parsed netlist") text =
+  let builder = Netlist.Builder.create ~title () in
+  let lines = String.split_on_char '\n' text in
+  List.iteri (fun i line -> parse_into builder (i + 1) line) lines;
+  Netlist.Builder.finish builder
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let builder = Netlist.Builder.create ~title:(Filename.basename path) () in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           parse_into builder !lineno line
+         done
+       with End_of_file -> ());
+      Netlist.Builder.finish builder)

@@ -1,0 +1,23 @@
+(** Line-oriented parser for the IBM-power-grid-benchmark SPICE subset.
+
+    Grammar per line (case-insensitive leading letter picks the element):
+    - [* ...] comment, blank lines skipped;
+    - [R<id> <node> <node> <value>] resistor;
+    - [I<id> <node> <node> <value>] DC current source;
+    - [V<id> <node> <node> <value>] DC voltage source;
+    - [.op], [.end] and other dot-cards are ignored.
+
+    Values accept scientific notation plus the usual SPICE magnitude
+    suffixes ([t g meg k m u n p f]). *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_value : string -> float
+(** Parse a single numeric literal with optional suffix; raises
+    [Failure] on malformed input. *)
+
+val parse_string : ?title:string -> string -> Netlist.t
+(** Raises {!Parse_error} with a 1-based line number on bad input. *)
+
+val parse_file : string -> Netlist.t
+(** [parse_file path]; the title defaults to the file's basename. *)

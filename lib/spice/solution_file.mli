@@ -1,0 +1,33 @@
+(** IBM-power-grid-benchmark solution files: one [node voltage] pair per
+    line, the format the benchmark suite distributes golden DC solutions
+    in. Used to check our MNA solver against reference data and to
+    exchange solutions between tools. *)
+
+type t = (string * float) list
+(** In file order; node names as in the netlist (ground usually absent). *)
+
+val of_solution : ?include_ground:bool -> Mna.solution -> t
+(** All netlist nodes; ground excluded by default. *)
+
+val write : string -> t -> unit
+
+val to_string : t -> string
+
+val parse_string : string -> t
+(** Raises [Failure] with a line number on malformed input. Blank lines
+    and [*]-comments are skipped. *)
+
+val parse_file : string -> t
+
+type comparison = {
+  common : int;           (** nodes present on both sides *)
+  missing : string list;  (** reference nodes absent from the solution *)
+  max_abs_error : float;  (** V, over common nodes *)
+  worst_node : string option;
+}
+
+val compare_solutions : reference:t -> t -> comparison
+
+val check : ?tol:float -> reference:t -> Mna.solution -> (unit, string) result
+(** [Ok ()] when every reference node matches within [tol] volts
+    (default 1e-6). *)

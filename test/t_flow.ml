@@ -1,0 +1,833 @@
+open T_helpers
+module Gg = Pdn.Grid_gen
+module Ir = Pdn.Irdrop
+module Ex = Emflow.Extract
+module Flow = Emflow.Em_flow
+module Sc = Emflow.Scatter
+module Rp = Emflow.Report
+module N = Spice.Netlist
+module M = Em_core.Material
+module St = Em_core.Structure
+module Cl = Em_core.Classify
+
+let small_grid () =
+  Gg.generate
+    {
+      Gg.tech = Pdn.Tech.ibm_like;
+      die_width = 2e-3;
+      die_height = 2e-3;
+      stripe_counts = [| 20; 16; 8; 4 |];
+      pad_every = 4;
+      load_fraction = 0.4;
+      current_per_net = 1.0;
+      bottom_tap_pitch = None;
+      voltage_domains = 1;
+      seed = 11L;
+    }
+
+(* ---------------------------------------------------------------- *)
+(* Extract                                                           *)
+
+let test_extract_covers_all_wires () =
+  let g = small_grid () in
+  let sol = Spice.Mna.solve g.Gg.netlist in
+  let structures = Ex.extract ~tech:g.Gg.tech sol in
+  Alcotest.(check int) "every wire becomes a segment" g.Gg.num_wires
+    (Ex.total_segments structures);
+  Alcotest.(check bool) "multiple structures" true (List.length structures > 1)
+
+let test_extract_structures_are_connected_and_consistent () =
+  let g = small_grid () in
+  let sol = Spice.Mna.solve g.Gg.netlist in
+  let structures = Ex.extract ~tech:g.Gg.tech sol in
+  List.iter
+    (fun es ->
+      Alcotest.(check bool) "connected" true (St.is_connected es.Ex.structure);
+      (* Ohm's-law currents are cycle-consistent (Theorem 1 premise). *)
+      match St.validate ~cycle_rtol:1e-4 es.Ex.structure with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "extracted structure fails validation")
+    structures
+
+let test_extract_geometry_matches_tech () =
+  let g = small_grid () in
+  let sol = Spice.Mna.solve g.Gg.netlist in
+  let structures = Ex.extract ~tech:g.Gg.tech sol in
+  List.iter
+    (fun es ->
+      let s = es.Ex.structure in
+      for k = 0 to St.num_segments s - 1 do
+        let seg = St.seg s k in
+        (* Each segment's width matches its layer's tech entry. *)
+        let matching =
+          Array.exists
+            (fun (l : Pdn.Tech.layer) ->
+              l.Pdn.Tech.level = es.Ex.layer_level
+              && Float.abs (l.Pdn.Tech.width -. seg.St.width)
+                 < 1e-6 *. l.Pdn.Tech.width)
+            g.Gg.tech.Pdn.Tech.layers
+        in
+        Alcotest.(check bool) "width from tech" true matching
+      done)
+    structures
+
+let test_extract_current_matches_mna () =
+  (* Each extracted segment's electron current j*w*h must equal the MNA
+     branch current of its netlist resistor, with the electron-flow sign
+     flip (j is positive towards the higher-potential node, conventional
+     current flows the other way). *)
+  let g = small_grid () in
+  let sol = Spice.Mna.solve g.Gg.netlist in
+  let structures = Ex.extract ~tech:g.Gg.tech sol in
+  let checked = ref 0 in
+  List.iter
+    (fun es ->
+      let s = es.Ex.structure in
+      Array.iteri
+        (fun k elem ->
+          let i_electron = St.current s k in
+          let i_conventional = Spice.Mna.resistor_current sol elem in
+          let scale = Float.max 1e-12 (Float.abs i_conventional) in
+          if Float.abs (i_electron +. i_conventional) > 1e-6 *. scale then
+            Alcotest.failf "segment %d: electron %g vs conventional %g" k
+              i_electron i_conventional;
+          incr checked)
+        es.Ex.element_ids)
+    structures;
+  Alcotest.(check int) "checked every wire" g.Gg.num_wires !checked
+
+(* ---------------------------------------------------------------- *)
+(* Em_flow                                                           *)
+
+let test_flow_counts_sum () =
+  let g = small_grid () in
+  let r = Flow.run g in
+  Alcotest.(check int) "confusion total = segments" r.Flow.num_segments
+    (Cl.total r.Flow.counts);
+  Alcotest.(check int) "segments recorded" r.Flow.num_segments
+    (Array.length r.Flow.segments);
+  Alcotest.(check int) "all wires analyzed" g.Gg.num_wires r.Flow.num_segments
+
+let test_flow_maxpath_ablation () =
+  let g = small_grid () in
+  let r = Flow.run ~with_maxpath:true g in
+  match r.Flow.maxpath_counts with
+  | None -> Alcotest.fail "maxpath counts missing"
+  | Some c ->
+    Alcotest.(check int) "ablation total" r.Flow.num_segments (Cl.total c)
+
+let test_flow_blech_disagrees_after_ir_scaling () =
+  (* Scale to a realistic stress level: currents scaled so IR drop is
+     tens of mV produce both immortal and mortal segments, and the
+     traditional filter must show errors (the paper's core claim). *)
+  let g = small_grid () in
+  let scaled, _ = Ir.scale_to_ir g ~target:0.05 in
+  let r = Flow.run scaled in
+  let c = r.Flow.counts in
+  Alcotest.(check bool) "some immortal segments" true (c.Cl.tp + c.Cl.fn > 0);
+  Alcotest.(check bool) "blech makes errors" true (c.Cl.fp + c.Cl.fn > 0)
+
+let test_flow_zero_current_all_immortal () =
+  (* Without loads every branch current is 0: everything is immortal and
+     the Blech filter is exactly right. *)
+  let g = small_grid () in
+  let unloaded =
+    { g with Gg.netlist = Ir.scale_loads g.Gg.netlist 0. }
+  in
+  let r = Flow.run unloaded in
+  let c = r.Flow.counts in
+  Alcotest.(check int) "no mortal" 0 (c.Cl.tn + c.Cl.fp + c.Cl.fn);
+  Alcotest.(check int) "all TP" r.Flow.num_segments c.Cl.tp
+
+(* ---------------------------------------------------------------- *)
+(* Scatter                                                           *)
+
+let test_scatter_points () =
+  let g = small_grid () in
+  let scaled, _ = Ir.scale_to_ir g ~target:0.05 in
+  let r = Flow.run scaled in
+  let pts = Sc.of_result r in
+  Alcotest.(check int) "one point per segment" r.Flow.num_segments
+    (Array.length pts);
+  let ascii = Sc.ascii ~jl_crit:(M.jl_crit M.cu_dac21) pts in
+  Alcotest.(check bool) "plot non-empty" true (String.length ascii > 100);
+  let csv = Sc.to_csv pts in
+  Alcotest.(check bool) "csv has header" true
+    (String.length csv > 30 && String.sub csv 0 9 = "length_um");
+  (* Summary counts match. *)
+  let summary = Sc.summary pts in
+  Alcotest.(check bool) "summary mentions total" true
+    (String.length summary > 0)
+
+let test_scatter_csv_roundtrippable () =
+  let pts =
+    [| { Sc.length_um = 10.; j = -2e9; correct = true };
+       { Sc.length_um = 55.; j = 4e10; correct = false } |]
+  in
+  let csv = Sc.to_csv pts in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "rows" 3 (List.length lines)
+
+let test_scatter_empty () =
+  Alcotest.(check string) "empty plot" "(no points)\n"
+    (Sc.ascii ~jl_crit:0.27 [||])
+
+(* ---------------------------------------------------------------- *)
+(* Report                                                            *)
+
+let test_report_render () =
+  let t = Rp.create [ "name"; "E"; "TP" ] in
+  Rp.add_row t [ "pg1"; Rp.int_cell 29750; Rp.int_cell 1557 ];
+  Rp.add_separator t;
+  Rp.add_row t [ "pg2"; Rp.int_cell 125668; Rp.int_cell 7703 ];
+  let s = Rp.render t in
+  Alcotest.(check bool) "contains commas" true
+    (String.length s > 0
+    &&
+    let re = "29,750" in
+    let found = ref false in
+    for i = 0 to String.length s - String.length re do
+      if String.sub s i (String.length re) = re then found := true
+    done;
+    !found);
+  (* Every rendered line (borders, header, rows) carries the full set of
+     column separators. *)
+  List.iter
+    (fun line ->
+      if String.length line > 0 then begin
+        let pipes = ref 0 in
+        String.iter (fun c -> if c = '|' || c = '+' then incr pipes) line;
+        Alcotest.(check int) "separators per line" 4 !pipes
+      end)
+    (String.split_on_char '\n' s);
+  check_raises_invalid "bad row" (fun () -> Rp.add_row t [ "x" ])
+
+let test_report_cells () =
+  Alcotest.(check string) "int_cell" "1,648,621" (Rp.int_cell 1648621);
+  Alcotest.(check string) "int_cell small" "42" (Rp.int_cell 42);
+  Alcotest.(check string) "int_cell negative" "-1,234" (Rp.int_cell (-1234));
+  Alcotest.(check string) "seconds ms" "380ms" (Rp.seconds_cell 0.38);
+  Alcotest.(check string) "seconds s" "12.3s" (Rp.seconds_cell 12.34);
+  Alcotest.(check string) "pct" "15.3%" (Rp.pct_cell 0.153);
+  Alcotest.(check string) "float" "2.72" (Rp.float_cell 2.718)
+
+
+(* ---------------------------------------------------------------- *)
+(* Layer_report                                                      *)
+
+module Lr = Emflow.Layer_report
+
+let test_layer_report_totals () =
+  let g = small_grid () in
+  let sol = Spice.Mna.solve g.Gg.netlist in
+  let structures = Ex.extract ~tech:g.Gg.tech sol in
+  let stats = Lr.analyze structures in
+  (* Segments and confusion counts partition across layers. *)
+  let seg_total = List.fold_left (fun a st -> a + st.Lr.segments) 0 stats in
+  Alcotest.(check int) "segments partition" g.Gg.num_wires seg_total;
+  let merged =
+    List.fold_left (fun a st -> Cl.merge a st.Lr.counts) Cl.empty stats
+  in
+  let flow = Flow.run_on_structures structures in
+  Alcotest.(check int) "counts merge (tp)" flow.Flow.counts.Cl.tp merged.Cl.tp;
+  Alcotest.(check int) "counts merge (fp)" flow.Flow.counts.Cl.fp merged.Cl.fp;
+  (* Levels ascend and match the tech's metal levels. *)
+  let levels = List.map (fun st -> st.Lr.level) stats in
+  Alcotest.(check (list int)) "levels sorted" (List.sort compare levels) levels;
+  List.iter
+    (fun lv ->
+      Alcotest.(check bool) "level known to tech" true
+        (Array.exists
+           (fun (l : Pdn.Tech.layer) -> l.Pdn.Tech.level = lv)
+           g.Gg.tech.Pdn.Tech.layers))
+    levels
+
+let test_layer_report_renders () =
+  let g = small_grid () in
+  let sol = Spice.Mna.solve g.Gg.netlist in
+  let stats = Lr.analyze (Ex.extract ~tech:g.Gg.tech sol) in
+  let rendered = Emflow.Report.render (Lr.to_table stats) in
+  Alcotest.(check bool) "has rows" true (String.length rendered > 200)
+
+let test_layer_report_mortal_consistency () =
+  let g = small_grid () in
+  let scaled, _ = Ir.scale_to_ir g ~target:0.05 in
+  let sol = Spice.Mna.solve scaled.Gg.netlist in
+  let stats = Lr.analyze (Ex.extract ~tech:scaled.Gg.tech sol) in
+  List.iter
+    (fun st ->
+      Alcotest.(check int) "mortal = TN + FP" st.Lr.mortal_segments
+        (st.Lr.counts.Cl.tn + st.Lr.counts.Cl.fp))
+    stats
+
+
+(* ---------------------------------------------------------------- *)
+(* Fixer                                                             *)
+
+module Fx = Emflow.Fixer
+
+let stressed_structures () =
+  let g = small_grid () in
+  let scaled, _ = Ir.scale_to_ir g ~target:0.05 in
+  let sol = Spice.Mna.solve scaled.Gg.netlist in
+  Ex.extract ~tech:scaled.Gg.tech sol
+
+let test_fixer_plan_and_verify () =
+  let structures = stressed_structures () in
+  let plan = Fx.plan structures in
+  Alcotest.(check int) "partition" (List.length structures)
+    (plan.Fx.mortal_structures + plan.Fx.immortal_structures);
+  Alcotest.(check int) "one fix per mortal structure"
+    plan.Fx.mortal_structures
+    (List.length plan.Fx.fixes);
+  Alcotest.(check bool) "finds mortal structures" true
+    (plan.Fx.mortal_structures > 0);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "widen > 1" true (f.Fx.widen > 1.);
+      Alcotest.(check bool) "positive cost" true (f.Fx.extra_area > 0.))
+    plan.Fx.fixes;
+  Alcotest.(check bool) "plan verifies" true (Fx.verify structures plan);
+  (* Costliest first. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Fx.extra_area >= b.Fx.extra_area && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by cost" true (sorted plan.Fx.fixes)
+
+let test_fixer_widening_semantics () =
+  (* Widening preserves currents and scales stress down by alpha. *)
+  let s =
+    St.make ~num_nodes:3
+      [|
+        (0, 1, St.segment ~length:30e-6 ~width:1e-6 ~j:2e10 ());
+        (1, 2, St.segment ~length:20e-6 ~width:1e-6 ~j:2e10 ());
+      |]
+  in
+  let alpha = 2.5 in
+  let widened = Fx.apply_widening s alpha in
+  for k = 0 to St.num_segments s - 1 do
+    T_helpers.check_close ~rtol:1e-12 "current preserved" (St.current s k)
+      (St.current widened k)
+  done;
+  let before = Em_core.Steady_state.solve M.cu_dac21 s in
+  let after = Em_core.Steady_state.solve M.cu_dac21 widened in
+  Array.iteri
+    (fun v sigma ->
+      T_helpers.check_close ~rtol:1e-9 ~atol:1e0 "stress scaled"
+        (sigma /. alpha)
+        after.Em_core.Steady_state.node_stress.(v))
+    before.Em_core.Steady_state.node_stress
+
+let test_fixer_safety_guard () =
+  let structures = stressed_structures () in
+  Alcotest.(check bool) "safety guard" true
+    (match Fx.plan ~safety:0.5 structures with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* Larger safety -> larger cost. *)
+  let p1 = Fx.plan ~safety:1.05 structures in
+  let p2 = Fx.plan ~safety:1.5 structures in
+  Alcotest.(check bool) "monotone cost" true
+    (p2.Fx.total_extra_area > p1.Fx.total_extra_area)
+
+(* ---------------------------------------------------------------- *)
+(* Checked-in sample deck                                            *)
+
+let test_sample_deck_end_to_end () =
+  (* data/mini_grid.sp is a committed generator output: the parser, the
+     solver and the extractor must take it all the way through. *)
+  let path = "../../../data/mini_grid.sp" in
+  let path = if Sys.file_exists path then path else "data/mini_grid.sp" in
+  if not (Sys.file_exists path) then
+    Alcotest.skip ()
+  else begin
+    let netlist = Spice.Parser.parse_file path in
+    let stats = N.stats netlist in
+    Alcotest.(check int) "resistors" 426 stats.N.resistors;
+    Alcotest.(check int) "loads" 121 stats.N.current_sources;
+    let findings = Spice.Checker.check netlist in
+    Alcotest.(check (list string)) "lint-clean" []
+      (List.map (fun f -> f.Spice.Checker.code) findings);
+    let sol = Spice.Mna.solve ~tol:1e-12 netlist in
+    (* Golden solution shipped with the deck. *)
+    let golden_path = Filename.concat (Filename.dirname path) "mini_grid.solution" in
+    (match
+       Spice.Solution_file.check ~tol:1e-6
+         ~reference:(Spice.Solution_file.parse_file golden_path)
+         sol
+     with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "golden solution mismatch: %s" m);
+    let structures = Ex.extract ~tech:Pdn.Tech.ibm_like sol in
+    let r = Flow.run_on_structures structures in
+    Alcotest.(check int) "all wires analyzed" 384 r.Flow.num_segments
+  end
+
+
+(* ---------------------------------------------------------------- *)
+(* Stage 2                                                           *)
+
+module S2 = Emflow.Stage2
+
+(* Stage 2 runs a transient PDE per mortal structure; keep the test
+   workload small (and computed once) so the suite stays fast. *)
+let stage2_structures =
+  lazy
+    (stressed_structures ()
+    |> List.filter (fun es ->
+           St.num_segments es.Ex.structure <= 25)
+    |> List.filteri (fun i _ -> i < 14))
+
+let test_stage2_buckets () =
+  let structures = Lazy.force stage2_structures in
+  (* At 378 K the two-phase TTFs on this grid run decades-to-millennia,
+     so use a wide horizon to exercise the failing bucket. *)
+  let r = S2.run ~lifetime:(Em_core.Units.years 2000.) structures in
+  Alcotest.(check int) "one entry per structure" (List.length structures)
+    (List.length r.S2.entries);
+  (* Checked = mortal structures. *)
+  let mortal =
+    List.length
+      (List.filter
+         (fun es ->
+           not
+             (Em_core.Immortality.check M.cu_dac21 es.Ex.structure)
+               .Em_core.Immortality.structure_immortal)
+         structures)
+  in
+  Alcotest.(check int) "checked = mortal" mortal r.S2.checked;
+  Alcotest.(check bool) "buckets partition" true
+    (r.S2.failing + r.S2.surviving <= r.S2.checked);
+  (* The heavily overdriven grid must produce lifetime failures. *)
+  Alcotest.(check bool) "finds failures" true (r.S2.failing > 0)
+
+let test_stage2_lifetime_monotone () =
+  let structures = Lazy.force stage2_structures in
+  let short = S2.run ~lifetime:(Em_core.Units.years 50.) structures in
+  let long = S2.run ~lifetime:(Em_core.Units.years 5000.) structures in
+  Alcotest.(check bool) "longer lifetime -> more failures" true
+    (long.S2.failing > short.S2.failing)
+
+let test_stage2_arrhenius () =
+  (* Hotter silicon fails sooner: more failures within the same lifetime
+     at higher temperature (nucleation and growth both accelerate while
+     the steady-state stresses are unchanged). *)
+  let structures = Lazy.force stage2_structures in
+  let lifetime = Em_core.Units.years 100. in
+  let cool = S2.run ~material:M.cu_dac21 ~lifetime structures in
+  let hot =
+    S2.run ~material:(M.with_temperature M.cu_dac21 430.) ~lifetime structures
+  in
+  Alcotest.(check int) "same workload" cool.S2.checked hot.S2.checked;
+  Alcotest.(check bool)
+    (Printf.sprintf "hot fails more (%d vs %d)" hot.S2.failing cool.S2.failing)
+    true
+    (hot.S2.failing > cool.S2.failing)
+
+let test_stage2_workload () =
+  let structures = Lazy.force stage2_structures in
+  let w = S2.workload structures in
+  Alcotest.(check bool) "both filters forward work" true
+    (w.S2.exact_filter > 0 && w.S2.blech_filter > 0);
+  Alcotest.(check bool) "within structure count" true
+    (w.S2.exact_filter <= List.length structures
+    && w.S2.blech_filter <= List.length structures)
+
+let test_stage2_table () =
+  let structures = Lazy.force stage2_structures in
+  let r = S2.run structures in
+  let rendered = Emflow.Report.render (S2.to_table r) in
+  Alcotest.(check bool) "renders" true (String.length rendered > 100)
+
+
+(* ---------------------------------------------------------------- *)
+(* Json_out                                                          *)
+
+module J = Emflow.Json_out
+
+let test_json_scalars () =
+  Alcotest.(check string) "null" "null" (J.to_string J.Null);
+  Alcotest.(check string) "true" "true" (J.to_string (J.Bool true));
+  Alcotest.(check string) "int" "-42" (J.to_string (J.Int (-42)));
+  Alcotest.(check string) "float" "1.5" (J.to_string (J.Float 1.5));
+  Alcotest.(check string) "nan -> null" "null" (J.to_string (J.Float Float.nan));
+  Alcotest.(check string) "inf -> null" "null"
+    (J.to_string (J.Float Float.infinity));
+  (* Floats round-trip. *)
+  let x = 0.1 +. 0.2 in
+  Alcotest.(check (float 0.)) "roundtrip" x
+    (float_of_string (J.to_string (J.Float x)))
+
+let test_json_escaping () =
+  Alcotest.(check string) "quotes" {|"a\"b"|} (J.to_string (J.String {|a"b|}));
+  Alcotest.(check string) "backslash" {|"a\\b"|} (J.to_string (J.String {|a\b|}));
+  Alcotest.(check string) "newline" {|"a\nb"|} (J.to_string (J.String "a\nb"));
+  Alcotest.(check string) "control" {|"\u0001"|} (J.to_string (J.String "\x01"))
+
+let test_json_structures () =
+  let j =
+    J.Obj [ ("xs", J.List [ J.Int 1; J.Int 2 ]); ("name", J.String "pg1") ]
+  in
+  Alcotest.(check string) "object" {|{"xs":[1,2],"name":"pg1"}|} (J.to_string j)
+
+let test_json_flow_result () =
+  let g = small_grid () in
+  let r = Flow.run g in
+  let s = J.to_string (J.of_flow_result r) in
+  Alcotest.(check bool) "mentions segments" true
+    (String.length s > 50);
+  (* Counts embedded faithfully. *)
+  let expect = Printf.sprintf {|"segments":%d|} r.Flow.num_segments in
+  let found = ref false in
+  for i = 0 to String.length s - String.length expect do
+    if String.sub s i (String.length expect) = expect then found := true
+  done;
+  Alcotest.(check bool) "segment count serialized" true !found
+
+
+(* ---------------------------------------------------------------- *)
+(* Variation                                                         *)
+
+module Va = Emflow.Variation
+
+let test_variation_zero_sigma_degenerates () =
+  let structures =
+    stressed_structures () |> List.filteri (fun i _ -> i < 6)
+  in
+  let spec =
+    { Va.width_sigma = 0.; thickness_sigma = 0.; crit_sigma = 0.;
+      samples = 5; seed = 1L }
+  in
+  List.iter
+    (fun st ->
+      let expected = if st.Va.nominal_immortal then 0. else 1. in
+      T_helpers.check_close "probability collapses" expected
+        st.Va.mortality_probability;
+      T_helpers.check_close ~atol:1e-6 "no spread" 0. st.Va.std_max_stress)
+    (Va.run spec structures)
+
+let test_variation_probabilities_valid () =
+  let structures =
+    stressed_structures () |> List.filteri (fun i _ -> i < 6)
+  in
+  let stats = Va.run { Va.default_spec with Va.samples = 50 } structures in
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) "in [0,1]" true
+        (st.Va.mortality_probability >= 0. && st.Va.mortality_probability <= 1.);
+      Alcotest.(check bool) "positive spread" true (st.Va.std_max_stress > 0.))
+    stats;
+  (* Deterministic by seed. *)
+  let again = Va.run { Va.default_spec with Va.samples = 50 } structures in
+  List.iter2
+    (fun a b ->
+      T_helpers.check_close "deterministic" a.Va.mortality_probability
+        b.Va.mortality_probability)
+    stats again
+
+let test_variation_perturbation_preserves_current () =
+  let s =
+    St.line
+      [ St.segment ~length:30e-6 ~width:1e-6 ~j:2e10 ();
+        St.segment ~length:20e-6 ~width:0.5e-6 ~j:1e10 () ]
+  in
+  let rng = Numerics.Rng.create 3L in
+  let s' = Va.perturb_structure rng Va.default_spec s in
+  for k = 0 to St.num_segments s - 1 do
+    T_helpers.check_close ~rtol:1e-12 "current preserved" (St.current s k)
+      (St.current s' k);
+    Alcotest.(check bool) "geometry changed" true
+      ((St.seg s' k).St.width <> (St.seg s k).St.width)
+  done
+
+let test_variation_table () =
+  let structures =
+    stressed_structures () |> List.filteri (fun i _ -> i < 4)
+  in
+  let stats = Va.run { Va.default_spec with Va.samples = 10 } structures in
+  let rendered = Emflow.Report.render (Va.to_table stats) in
+  Alcotest.(check bool) "renders" true (String.length rendered > 100)
+
+(* ---------------------------------------------------------------- *)
+(* Profiles                                                          *)
+
+module Pf = Emflow.Profiles
+
+let test_profiles_exact_linearity () =
+  let s =
+    St.line
+      [ St.segment ~length:30e-6 ~width:1e-6 ~j:2e10 ();
+        St.segment ~length:20e-6 ~width:1e-6 ~j:(-1e10) () ]
+  in
+  let sol = Em_core.Steady_state.solve M.cu_dac21 s in
+  let samples = Pf.sample ~points_per_segment:5 sol s in
+  Alcotest.(check int) "count" 10 (List.length samples);
+  (* Endpoints equal node stresses. *)
+  let first = List.hd samples in
+  T_helpers.check_close ~rtol:1e-12 "first sample = tail stress"
+    sol.Em_core.Steady_state.node_stress.(0) first.Pf.stress;
+  (* CSV has a row per sample plus header. *)
+  let csv = Pf.to_csv samples in
+  Alcotest.(check int) "csv rows" 11
+    (List.length (String.split_on_char '\n' (String.trim csv)));
+  T_helpers.check_raises_invalid "needs >= 2 points" (fun () ->
+      ignore (Pf.sample ~points_per_segment:1 sol s))
+
+
+(* ---------------------------------------------------------------- *)
+(* Jmax                                                              *)
+
+module Jm = Emflow.Jmax
+
+let test_jmax_filter_semantics () =
+  let g = small_grid () in
+  let sol = Spice.Mna.solve g.Gg.netlist in
+  let structures = Ex.extract ~tech:g.Gg.tech sol in
+  List.iter
+    (fun es ->
+      let pass = Jm.filter ~tech:g.Gg.tech es in
+      Array.iteri
+        (fun k ok ->
+          let seg = St.seg es.Ex.structure k in
+          let limit =
+            let found = ref 0. in
+            Array.iter
+              (fun (l : Pdn.Tech.layer) ->
+                if l.Pdn.Tech.level = es.Ex.layer_level then
+                  found := l.Pdn.Tech.j_dc_limit)
+              g.Gg.tech.Pdn.Tech.layers;
+            !found
+          in
+          Alcotest.(check bool) "threshold semantics"
+            (Float.abs seg.St.current_density <= limit)
+            ok)
+        pass)
+    structures
+
+let test_jmax_counts_total () =
+  let structures = stressed_structures () in
+  let c = Jm.compare_against_exact ~tech:Pdn.Tech.ibm_like structures in
+  Alcotest.(check int) "covers every segment"
+    (Ex.total_segments structures)
+    (Cl.total c)
+
+
+let test_flow_parallel_matches_sequential () =
+  let g = small_grid () in
+  let seq = Flow.run ~with_maxpath:true g in
+  let par = Flow.run ~with_maxpath:true ~jobs:4 g in
+  Alcotest.(check int) "tp" seq.Flow.counts.Cl.tp par.Flow.counts.Cl.tp;
+  Alcotest.(check int) "fp" seq.Flow.counts.Cl.fp par.Flow.counts.Cl.fp;
+  Alcotest.(check int) "segments" seq.Flow.num_segments par.Flow.num_segments;
+  (* Same records in the same order. *)
+  Array.iteri
+    (fun i (r : Flow.segment_record) ->
+      let p = par.Flow.segments.(i) in
+      Alcotest.(check bool) "record equality" true
+        (r.Flow.layer = p.Flow.layer
+        && r.Flow.exact_immortal = p.Flow.exact_immortal
+        && r.Flow.blech_immortal = p.Flow.blech_immortal))
+    seq.Flow.segments
+
+
+let test_fixer_iterate_converges () =
+  (* The grid-level repair loop drives the mortal-structure count to
+     zero within the round budget. *)
+  let g = small_grid () in
+  let scaled, _ = Ir.scale_to_ir g ~target:0.03 in
+  let repaired, plans = Fx.iterate ~max_rounds:12 scaled in
+  Alcotest.(check bool) "at least one repair round" true (List.length plans >= 2);
+  (* Final plan is empty = clean grid. *)
+  let final = List.nth plans (List.length plans - 1) in
+  Alcotest.(check int) "no fixes remain" 0 (List.length final.Fx.fixes);
+  (* Confirm independently on the repaired netlist. *)
+  let sol = Spice.Mna.solve repaired.Gg.netlist in
+  let structures = Ex.extract ~tech:repaired.Gg.tech sol in
+  List.iter
+    (fun es ->
+      Alcotest.(check bool) "structure immortal" true
+        (Em_core.Immortality.check M.cu_dac21 es.Ex.structure)
+          .Em_core.Immortality.structure_immortal)
+    structures;
+  (* Mortal counts decrease monotonically across rounds. *)
+  let counts = List.map (fun p -> p.Fx.mortal_structures) plans in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone repair (%s)"
+       (String.concat "," (List.map string_of_int counts)))
+    true (decreasing counts)
+
+
+(* ---------------------------------------------------------------- *)
+(* Svg / Html_report                                                 *)
+
+module Sv = Emflow.Svg
+module Hr = Emflow.Html_report
+
+let test_svg_primitives () =
+  let svg = Sv.create ~width:100 ~height:50 in
+  Sv.rect svg ~x:0. ~y:0. ~w:10. ~h:10. ~fill:"#fff" ();
+  Sv.line svg ~x1:0. ~y1:0. ~x2:5. ~y2:5. ~stroke:"#000" ();
+  Sv.circle svg ~cx:1. ~cy:2. ~r:3. ~fill:"red";
+  Sv.text svg ~x:4. ~y:5. "a<b&c";
+  let out = Sv.render svg in
+  Alcotest.(check bool) "svg root" true
+    (String.length out > 50
+    && String.sub out 0 4 = "<svg");
+  (* Escaping applied. *)
+  let contains needle =
+    let n = String.length needle in
+    let found = ref false in
+    for i = 0 to String.length out - n do
+      if String.sub out i n = needle then found := true
+    done;
+    !found
+  in
+  Alcotest.(check bool) "escaped text" true (contains "a&lt;b&amp;c");
+  Alcotest.(check bool) "no raw angle in text" false (contains ">a<b")
+
+let test_svg_scatter () =
+  let pts =
+    Array.init 200 (fun i ->
+        {
+          Sc.length_um = 1. +. float_of_int i;
+          j = 1e9 *. float_of_int (1 + (i mod 17));
+          correct = i mod 3 <> 0;
+        })
+  in
+  let out =
+    Sv.scatter
+      {
+        Sv.width = 400; height = 300; title = "t"; x_label = "x"; y_label = "y";
+        jl_crit = Some (M.jl_crit M.cu_dac21);
+      }
+      pts
+  in
+  Alcotest.(check bool) "has points" true
+    (String.length out > 2000);
+  Alcotest.(check string) "empty placeholder"
+    "(no points)"
+    (let out =
+       Sv.scatter
+         { Sv.width = 100; height = 100; title = ""; x_label = ""; y_label = "";
+           jl_crit = None }
+         [||]
+     in
+     if String.length out > 0 then
+       (* extract the placeholder text *)
+       let needle = "(no points)" in
+       let n = String.length needle in
+       let found = ref "" in
+       for i = 0 to String.length out - n do
+         if String.sub out i n = needle then found := needle
+       done;
+       !found
+     else "")
+
+let test_html_report () =
+  let g = small_grid () in
+  let scaled, _ = Ir.scale_to_ir g ~target:0.04 in
+  let sol = Spice.Mna.solve scaled.Gg.netlist in
+  let structures = Ex.extract ~tech:scaled.Gg.tech sol in
+  let r = Flow.run_on_structures structures in
+  let html =
+    Hr.page ~title:"unit test <grid>" ~tech:scaled.Gg.tech ~structures r
+  in
+  let contains needle =
+    let n = String.length needle in
+    let found = ref false in
+    for i = 0 to String.length html - n do
+      if String.sub html i n = needle then found := true
+    done;
+    !found
+  in
+  Alcotest.(check bool) "doctype" true (contains "<!DOCTYPE html>");
+  Alcotest.(check bool) "title escaped" true (contains "unit test &lt;grid&gt;");
+  Alcotest.(check bool) "svg embedded" true (contains "<svg");
+  Alcotest.(check bool) "layer table" true (contains "Per-layer breakdown");
+  Alcotest.(check bool) "repair section" true (contains "Repair plan");
+  Alcotest.(check bool) "closes" true (contains "</html>")
+
+let suites =
+  [
+    ( "flow.extract",
+      [
+        case "covers all wires" test_extract_covers_all_wires;
+        case "structures connected and consistent"
+          test_extract_structures_are_connected_and_consistent;
+        case "geometry from tech" test_extract_geometry_matches_tech;
+        case "currents match MNA branches" test_extract_current_matches_mna;
+      ] );
+    ( "flow.em_flow",
+      [
+        case "confusion totals" test_flow_counts_sum;
+        case "maxpath ablation" test_flow_maxpath_ablation;
+        case "blech errs after IR scaling" test_flow_blech_disagrees_after_ir_scaling;
+        case "zero current => all immortal" test_flow_zero_current_all_immortal;
+        case "parallel matches sequential" test_flow_parallel_matches_sequential;
+      ] );
+    ( "flow.scatter",
+      [
+        case "points and plot" test_scatter_points;
+        case "csv rows" test_scatter_csv_roundtrippable;
+        case "empty input" test_scatter_empty;
+      ] );
+    ( "flow.layer_report",
+      [
+        case "totals partition across layers" test_layer_report_totals;
+        case "renders" test_layer_report_renders;
+        case "mortal = TN + FP" test_layer_report_mortal_consistency;
+      ] );
+    ( "flow.fixer",
+      [
+        case "plan and verify" test_fixer_plan_and_verify;
+        case "widening semantics" test_fixer_widening_semantics;
+        case "safety guard / monotone cost" test_fixer_safety_guard;
+        case "grid repair loop converges" test_fixer_iterate_converges;
+      ] );
+    ( "flow.stage2",
+      [
+        case "verdict buckets" test_stage2_buckets;
+        case "lifetime monotonicity" test_stage2_lifetime_monotone;
+        case "Arrhenius acceleration" test_stage2_arrhenius;
+        case "filter workload" test_stage2_workload;
+        case "renders" test_stage2_table;
+      ] );
+    ( "flow.sample_deck",
+      [ case "data/mini_grid.sp end to end" test_sample_deck_end_to_end ] );
+    ( "flow.jmax",
+      [
+        case "threshold semantics" test_jmax_filter_semantics;
+        case "counts cover all segments" test_jmax_counts_total;
+      ] );
+    ( "flow.variation",
+      [
+        case "zero sigma degenerates" test_variation_zero_sigma_degenerates;
+        case "valid probabilities, deterministic" test_variation_probabilities_valid;
+        case "perturbation preserves currents" test_variation_perturbation_preserves_current;
+        case "renders" test_variation_table;
+      ] );
+    ( "flow.profiles", [ case "exact piecewise-linear samples" test_profiles_exact_linearity ] );
+    ( "flow.json",
+      [
+        case "scalars" test_json_scalars;
+        case "string escaping" test_json_escaping;
+        case "lists and objects" test_json_structures;
+        case "flow result serialization" test_json_flow_result;
+      ] );
+    ( "flow.svg",
+      [
+        case "primitives and escaping" test_svg_primitives;
+        case "scatter" test_svg_scatter;
+      ] );
+    ("flow.html_report", [ case "full page" test_html_report ]);
+    ( "flow.report",
+      [
+        case "render" test_report_render;
+        case "cell formatting" test_report_cells;
+      ] );
+  ]

@@ -1,0 +1,201 @@
+open T_helpers
+
+(* A small labelled test graph used across cases:
+
+       0 --a-- 1 --b-- 2
+               |       |
+               c       d
+               |       |
+               3 --e-- 4      5 (isolated)
+*)
+let sample () =
+  Ugraph.create ~num_nodes:6
+    [| (0, 1, "a"); (1, 2, "b"); (1, 3, "c"); (2, 4, "d"); (3, 4, "e") |]
+
+let test_construction () =
+  let g = sample () in
+  Alcotest.(check int) "nodes" 6 (Ugraph.num_nodes g);
+  Alcotest.(check int) "edges" 5 (Ugraph.num_edges g);
+  let e = Ugraph.edge g 3 in
+  Alcotest.(check int) "tail" 2 e.Ugraph.tail;
+  Alcotest.(check int) "head" 4 e.Ugraph.head;
+  Alcotest.(check string) "attr" "d" (Ugraph.attr g 3)
+
+let test_construction_errors () =
+  check_raises_invalid "self loop" (fun () ->
+      Ugraph.create ~num_nodes:2 [| (0, 0, ()) |]);
+  check_raises_invalid "bad endpoint" (fun () ->
+      Ugraph.create ~num_nodes:2 [| (0, 2, ()) |]);
+  check_raises_invalid "negative nodes" (fun () ->
+      Ugraph.create ~num_nodes:(-1) [||])
+
+let test_degrees_and_termini () =
+  let g = sample () in
+  Alcotest.(check int) "deg 0" 1 (Ugraph.degree g 0);
+  Alcotest.(check int) "deg 1" 3 (Ugraph.degree g 1);
+  Alcotest.(check int) "deg 5" 0 (Ugraph.degree g 5);
+  Alcotest.(check (list int)) "termini" [ 0 ] (Ugraph.termini g)
+
+let test_other_endpoint () =
+  let g = sample () in
+  Alcotest.(check int) "other of tail" 1 (Ugraph.other_endpoint g ~edge_id:0 0);
+  Alcotest.(check int) "other of head" 0 (Ugraph.other_endpoint g ~edge_id:0 1);
+  check_raises_invalid "not an endpoint" (fun () ->
+      Ugraph.other_endpoint g ~edge_id:0 2)
+
+let test_parallel_edges_allowed () =
+  let g = Ugraph.create ~num_nodes:2 [| (0, 1, "x"); (1, 0, "y") |] in
+  Alcotest.(check int) "deg with parallel" 2 (Ugraph.degree g 0)
+
+let test_map_attr () =
+  let g = sample () in
+  let g' = Ugraph.map_attr String.uppercase_ascii g in
+  Alcotest.(check string) "mapped" "C" (Ugraph.attr g' 2);
+  let g'' = Ugraph.mapi_attr (fun e a -> Printf.sprintf "%s%d" a e.Ugraph.id) g in
+  Alcotest.(check string) "mapi" "b1" (Ugraph.attr g'' 1)
+
+let test_is_connected () =
+  Alcotest.(check bool) "sample disconnected" false (Ugraph.is_connected (sample ()));
+  let g = Ugraph.create ~num_nodes:3 [| (0, 1, ()); (1, 2, ()) |] in
+  Alcotest.(check bool) "path connected" true (Ugraph.is_connected g);
+  let single = Ugraph.create ~num_nodes:1 [||] in
+  Alcotest.(check bool) "singleton" true (Ugraph.is_connected single)
+
+(* ---------------------------------------------------------------- *)
+(* Traversal                                                         *)
+
+let test_bfs_order_and_parents () =
+  let g = sample () in
+  let t = Traversal.bfs g ~root:0 in
+  Alcotest.(check int) "root first" 0 t.Traversal.order.(0);
+  Alcotest.(check int) "reaches component" 5 (Array.length t.Traversal.order);
+  Alcotest.(check int) "parent of 1" 0 t.Traversal.parent_node.(1);
+  Alcotest.(check int) "parent edge of 1" 0 t.Traversal.parent_edge.(1);
+  Alcotest.(check int) "unreached parent" (-1) t.Traversal.parent_node.(5);
+  Alcotest.(check bool) "unreached flag" false t.Traversal.reached.(5);
+  (* BFS from 0 reaches 4 through 2 or 3, both at distance 3. *)
+  Alcotest.(check bool) "bfs parent of 4" true
+    (List.mem t.Traversal.parent_node.(4) [ 2; 3 ])
+
+let test_dfs_reaches_same_set () =
+  let g = sample () in
+  let bfs = Traversal.bfs g ~root:1 and dfs = Traversal.dfs g ~root:1 in
+  let set t = List.sort compare (Array.to_list t.Traversal.order) in
+  Alcotest.(check (list int)) "same reach" (set bfs) (set dfs)
+
+let test_fold_tree_edges_prefix () =
+  let g = sample () in
+  let t = Traversal.bfs g ~root:0 in
+  (* Parents must appear before children in the fold. *)
+  let seen = Hashtbl.create 8 in
+  Hashtbl.add seen 0 ();
+  Traversal.fold_tree_edges t ~init:() ~f:(fun () ~node ~parent ~edge_id:_ ->
+      Alcotest.(check bool) "parent seen first" true (Hashtbl.mem seen parent);
+      Hashtbl.add seen node ())
+
+let test_component_of () =
+  let g = sample () in
+  Alcotest.(check (list int)) "component of 0" [ 0; 1; 2; 3; 4 ]
+    (Traversal.component_of g ~root:0);
+  Alcotest.(check (list int)) "component of 5" [ 5 ] (Traversal.component_of g ~root:5)
+
+let test_dfs_long_path_no_overflow () =
+  let n = 200_000 in
+  let g =
+    Ugraph.create ~num_nodes:n (Array.init (n - 1) (fun i -> (i, i + 1, ())))
+  in
+  let t = Traversal.dfs g ~root:0 in
+  Alcotest.(check int) "all reached" n (Array.length t.Traversal.order)
+
+(* ---------------------------------------------------------------- *)
+(* Spanning                                                          *)
+
+let test_spanning_tree_counts () =
+  let g = sample () in
+  let s = Spanning.of_bfs g ~root:0 in
+  let tree_edges =
+    Array.fold_left (fun n b -> if b then n + 1 else n) 0 s.Spanning.is_tree_edge
+  in
+  (* Component of 0 has 5 nodes -> 4 tree edges, and 5 - 4 = 1 chord. *)
+  Alcotest.(check int) "tree edges" 4 tree_edges;
+  Alcotest.(check int) "chords" 1 (Array.length s.Spanning.chords);
+  Alcotest.(check int) "cycles" 1 (Spanning.num_independent_cycles g ~root:0)
+
+let test_spanning_tree_acyclic_graph () =
+  let g = Ugraph.create ~num_nodes:4 [| (0, 1, ()); (1, 2, ()); (1, 3, ()) |] in
+  let s = Spanning.of_dfs g ~root:0 in
+  Alcotest.(check int) "no chords in tree" 0 (Array.length s.Spanning.chords)
+
+let test_spanning_chord_not_tree_edge () =
+  let g = sample () in
+  let s = Spanning.of_bfs g ~root:0 in
+  Array.iter
+    (fun chord ->
+      Alcotest.(check bool) "chord flag" false s.Spanning.is_tree_edge.(chord))
+    s.Spanning.chords
+
+(* ---------------------------------------------------------------- *)
+(* Components                                                        *)
+
+let test_components () =
+  let g = sample () in
+  let c = Components.compute g in
+  Alcotest.(check int) "count" 2 c.Components.count;
+  Alcotest.(check (list int)) "component 0 nodes" [ 0; 1; 2; 3; 4 ]
+    (Components.nodes_of c 0);
+  Alcotest.(check (list int)) "component 1 nodes" [ 5 ] (Components.nodes_of c 1);
+  Alcotest.(check (list int)) "component 0 edges" [ 0; 1; 2; 3; 4 ]
+    (Components.edges_of c 0);
+  Alcotest.(check int) "largest" 0 (Components.largest c)
+
+let test_components_all_isolated () =
+  let g = Ugraph.create ~num_nodes:3 [||] in
+  let c = Components.compute g in
+  Alcotest.(check int) "three singletons" 3 c.Components.count
+
+(* ---------------------------------------------------------------- *)
+(* Unionfind                                                         *)
+
+let test_unionfind () =
+  let u = Unionfind.create 5 in
+  Alcotest.(check int) "initial count" 5 (Unionfind.count u);
+  Alcotest.(check bool) "union 0 1" true (Unionfind.union u 0 1);
+  Alcotest.(check bool) "union 1 2" true (Unionfind.union u 1 2);
+  Alcotest.(check bool) "redundant union" false (Unionfind.union u 0 2);
+  Alcotest.(check bool) "same 0 2" true (Unionfind.same u 0 2);
+  Alcotest.(check bool) "diff 0 3" false (Unionfind.same u 0 3);
+  Alcotest.(check int) "count after unions" 3 (Unionfind.count u)
+
+let suites =
+  [
+    ( "graph.ugraph",
+      [
+        case "construction" test_construction;
+        case "construction errors" test_construction_errors;
+        case "degrees and termini" test_degrees_and_termini;
+        case "other_endpoint" test_other_endpoint;
+        case "parallel edges" test_parallel_edges_allowed;
+        case "map_attr / mapi_attr" test_map_attr;
+        case "is_connected" test_is_connected;
+      ] );
+    ( "graph.traversal",
+      [
+        case "bfs order and parents" test_bfs_order_and_parents;
+        case "dfs reaches same set" test_dfs_reaches_same_set;
+        case "fold_tree_edges prefix property" test_fold_tree_edges_prefix;
+        case "component_of" test_component_of;
+        case "dfs long path (no overflow)" test_dfs_long_path_no_overflow;
+      ] );
+    ( "graph.spanning",
+      [
+        case "tree edge / chord counts" test_spanning_tree_counts;
+        case "acyclic graph has no chords" test_spanning_tree_acyclic_graph;
+        case "chords are not tree edges" test_spanning_chord_not_tree_edge;
+      ] );
+    ( "graph.components",
+      [
+        case "two components" test_components;
+        case "isolated nodes" test_components_all_isolated;
+      ] );
+    ("graph.unionfind", [ case "union/find/count" test_unionfind ]);
+  ]

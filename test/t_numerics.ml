@@ -1,0 +1,613 @@
+open T_helpers
+module V = Numerics.Vector
+module D = Numerics.Dense
+module Sp = Numerics.Sparse
+module Cg = Numerics.Cg
+module Tri = Numerics.Tridiag
+module Rng = Numerics.Rng
+module Stats = Numerics.Stats
+
+(* ---------------------------------------------------------------- *)
+(* Vector                                                            *)
+
+let test_vector_basics () =
+  let x = V.init 4 (fun i -> float_of_int (i + 1)) in
+  let y = V.init 4 (fun i -> float_of_int (4 - i)) in
+  check_close "dot" (4. +. 6. +. 6. +. 4.) (V.dot x y);
+  check_close "norm2" (sqrt 30.) (V.norm2 x);
+  check_close "norm_inf" 4. (V.norm_inf x);
+  check_close "sum" 10. (V.sum x);
+  check_array_close "add" [| 5.; 5.; 5.; 5. |] (V.add x y);
+  check_array_close "sub" [| -3.; -1.; 1.; 3. |] (V.sub x y);
+  check_array_close "scale" [| 2.; 4.; 6.; 8. |] (V.scale 2. x)
+
+let test_vector_axpy () =
+  let x = [| 1.; 2.; 3. |] in
+  let y = [| 10.; 20.; 30. |] in
+  V.axpy ~a:2. ~x ~y;
+  check_array_close "axpy" [| 12.; 24.; 36. |] y;
+  V.xpay ~x ~a:0.5 ~y;
+  check_array_close "xpay" [| 7.; 14.; 21. |] y
+
+let test_vector_dim_mismatch () =
+  check_raises_invalid "dot mismatch" (fun () -> V.dot [| 1. |] [| 1.; 2. |]);
+  check_raises_invalid "add mismatch" (fun () -> V.add [| 1. |] [| 1.; 2. |])
+
+let test_vector_rel_diff () =
+  let x = [| 1.0; 2.0 |] and y = [| 1.0; 2.0001 |] in
+  check_close ~rtol:1e-6 "rel_diff" (0.0001 /. 2.0001) (V.rel_diff x y);
+  Alcotest.(check bool) "approx_equal tight" false (V.approx_equal x y);
+  Alcotest.(check bool) "approx_equal loose" true (V.approx_equal ~rtol:1e-3 x y)
+
+let test_vector_empty () =
+  check_close "norm_inf empty" 0. (V.norm_inf [||]);
+  check_close "sum empty" 0. (V.sum [||])
+
+(* ---------------------------------------------------------------- *)
+(* Dense                                                             *)
+
+let test_dense_solve_known () =
+  (* 2x + y = 5; x + 3y = 10 -> x = 1, y = 3. *)
+  let a = D.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = D.solve a [| 5.; 10. |] in
+  check_array_close "2x2 solve" [| 1.; 3. |] x
+
+let test_dense_solve_pivoting () =
+  (* Leading zero forces a row swap. *)
+  let a = D.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = D.solve a [| 2.; 3. |] in
+  check_array_close "pivot solve" [| 3.; 2. |] x
+
+let test_dense_singular () =
+  let a = D.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  (match D.solve a [| 1.; 2. |] with
+  | exception D.Singular -> ()
+  | _ -> Alcotest.fail "expected Singular");
+  check_close "det of singular" 0. (D.determinant a)
+
+let test_dense_random_roundtrip () =
+  let rng = Rng.create 42L in
+  for trial = 0 to 9 do
+    let n = 1 + Rng.int rng 8 in
+    let a = D.create n n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        D.set a i j (Rng.uniform rng (-1.) 1.)
+      done;
+      (* Diagonal dominance guarantees invertibility. *)
+      D.add_to a i i (float_of_int n *. 2.)
+    done;
+    let x_true = Array.init n (fun i -> Rng.uniform rng (-5.) 5. +. float_of_int i) in
+    let b = D.mul_vec a x_true in
+    let x = D.solve a b in
+    check_array_close ~rtol:1e-8
+      (Printf.sprintf "roundtrip %d (n=%d)" trial n)
+      x_true x
+  done
+
+let test_dense_determinant () =
+  let a = D.of_arrays [| [| 3.; 1. |]; [| 4.; 2. |] |] in
+  check_close "det 2x2" 2. (D.determinant a);
+  check_close "det identity" 1. (D.determinant (D.identity 5));
+  (* A permutation matrix with one swap has determinant -1. *)
+  let p = D.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_close "det swap" (-1.) (D.determinant p)
+
+let test_dense_mul () =
+  let a = D.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = D.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = D.mul a b in
+  Alcotest.(check (list (list (float 1e-9))))
+    "mul" [ [ 19.; 22. ]; [ 43.; 50. ] ]
+    (Array.to_list (Array.map Array.to_list (D.to_arrays c)))
+
+let test_dense_least_squares () =
+  (* Fit y = 2x + 1 through three exact points: residual 0. *)
+  let a = D.of_arrays [| [| 0.; 1. |]; [| 1.; 1. |]; [| 2.; 1. |] |] in
+  let x = D.solve_least_squares a [| 1.; 3.; 5. |] in
+  check_array_close ~rtol:1e-8 "ls fit" [| 2.; 1. |] x
+
+(* ---------------------------------------------------------------- *)
+(* Sparse                                                            *)
+
+let test_sparse_builder_duplicates () =
+  let b = Sp.Builder.create 2 2 in
+  Sp.Builder.add b 0 0 1.;
+  Sp.Builder.add b 0 0 2.;
+  Sp.Builder.add b 1 0 5.;
+  Sp.Builder.add b 0 1 (-1.);
+  let m = Sp.Builder.to_csr b in
+  check_close "dup sum" 3. (Sp.get m 0 0);
+  check_close "other" 5. (Sp.get m 1 0);
+  check_close "missing" 0. (Sp.get m 1 1);
+  Alcotest.(check int) "nnz" 3 (Sp.nnz m)
+
+let test_sparse_spmv_vs_dense () =
+  let rng = Rng.create 7L in
+  for _ = 0 to 9 do
+    let n = 2 + Rng.int rng 12 and m = 2 + Rng.int rng 12 in
+    let d = D.create n m in
+    let b = Sp.Builder.create n m in
+    for _ = 0 to (n * m / 3) + 1 do
+      let i = Rng.int rng n and j = Rng.int rng m in
+      let v = Rng.uniform rng (-2.) 2. in
+      D.add_to d i j v;
+      Sp.Builder.add b i j v
+    done;
+    let sp = Sp.Builder.to_csr b in
+    let x = Array.init m (fun i -> float_of_int i -. 3.) in
+    check_array_close ~rtol:1e-10 "spmv" (D.mul_vec d x) (Sp.mul_vec sp x)
+  done
+
+let test_sparse_transpose () =
+  let b = Sp.Builder.create 2 3 in
+  Sp.Builder.add b 0 2 4.;
+  Sp.Builder.add b 1 0 7.;
+  let m = Sp.Builder.to_csr b in
+  let mt = Sp.transpose m in
+  Alcotest.(check (pair int int)) "dims" (3, 2) (Sp.dims mt);
+  check_close "t02" 4. (Sp.get mt 2 0);
+  check_close "t10" 7. (Sp.get mt 0 1)
+
+let test_sparse_symmetry () =
+  let b = Sp.Builder.create 3 3 in
+  Sp.Builder.add b 0 1 2.;
+  Sp.Builder.add b 1 0 2.;
+  Sp.Builder.add b 2 2 1.;
+  Alcotest.(check bool) "symmetric" true (Sp.is_symmetric (Sp.Builder.to_csr b));
+  Sp.Builder.add b 0 2 1.;
+  Alcotest.(check bool) "asymmetric" false (Sp.is_symmetric (Sp.Builder.to_csr b))
+
+let test_sparse_add_and_diag () =
+  let b = Sp.Builder.create 2 2 in
+  Sp.Builder.add b 0 1 1.;
+  let m = Sp.Builder.to_csr b in
+  let m2 = Sp.add m (Sp.identity 2) in
+  check_close "sum diag" 1. (Sp.get m2 0 0);
+  check_close "sum offdiag" 1. (Sp.get m2 0 1);
+  let m3 = Sp.add_diagonal m [| 5.; 6. |] in
+  check_array_close "add_diagonal" [| 5.; 6. |] (Sp.diagonal m3)
+
+let test_sparse_empty_row () =
+  let b = Sp.Builder.create 3 3 in
+  Sp.Builder.add b 0 0 1.;
+  Sp.Builder.add b 2 2 1.;
+  let m = Sp.Builder.to_csr b in
+  check_array_close "empty middle row" [| 1.; 0.; 1. |] (Sp.mul_vec m [| 1.; 1.; 1. |])
+
+(* ---------------------------------------------------------------- *)
+(* CG                                                                *)
+
+let random_spd rng n =
+  (* Diagonally dominant symmetric matrix. *)
+  let b = Sp.Builder.create n n in
+  let diag = Array.make n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng 1. < 0.3 then begin
+        let v = Rng.uniform rng (-1.) 1. in
+        Sp.Builder.add b i j v;
+        Sp.Builder.add b j i v;
+        diag.(i) <- diag.(i) +. Float.abs v;
+        diag.(j) <- diag.(j) +. Float.abs v
+      end
+    done
+  done;
+  for i = 0 to n - 1 do
+    Sp.Builder.add b i i (diag.(i) +. 1. +. Rng.float rng 2.)
+  done;
+  Sp.Builder.to_csr b
+
+let test_cg_spd () =
+  let rng = Rng.create 11L in
+  for trial = 0 to 4 do
+    let n = 5 + Rng.int rng 40 in
+    let a = random_spd rng n in
+    let x_true = Array.init n (fun i -> sin (float_of_int i)) in
+    let b = Sp.mul_vec a x_true in
+    let r = Cg.solve ~tol:1e-12 a b in
+    Alcotest.(check bool) "converged" true r.Cg.converged;
+    check_array_close ~rtol:1e-7 ~atol:1e-10
+      (Printf.sprintf "cg %d" trial)
+      x_true r.Cg.x
+  done
+
+let test_cg_no_precondition () =
+  let rng = Rng.create 13L in
+  let a = random_spd rng 20 in
+  let x_true = Array.init 20 (fun i -> float_of_int (i mod 3)) in
+  let b = Sp.mul_vec a x_true in
+  let r = Cg.solve ~precondition:false ~tol:1e-12 a b in
+  check_array_close ~rtol:1e-7 ~atol:1e-10 "cg plain" x_true r.Cg.x
+
+let test_cg_zero_rhs () =
+  let rng = Rng.create 17L in
+  let a = random_spd rng 10 in
+  let r = Cg.solve a (Array.make 10 0.) in
+  check_array_close "zero rhs" (Array.make 10 0.) r.Cg.x
+
+let path_laplacian n =
+  let b = Sp.Builder.create n n in
+  for i = 0 to n - 2 do
+    Sp.Builder.add b i i 1.;
+    Sp.Builder.add b (i + 1) (i + 1) 1.;
+    Sp.Builder.add b i (i + 1) (-1.);
+    Sp.Builder.add b (i + 1) i (-1.)
+  done;
+  Sp.Builder.to_csr b
+
+let test_cg_semidefinite_path () =
+  (* Pure-Neumann Poisson on a path: inject +1 at one end, -1 at the
+     other; the solution is linear in the node index. *)
+  let n = 12 in
+  let l = path_laplacian n in
+  let b = Array.make n 0. in
+  b.(0) <- 1.;
+  b.(n - 1) <- -1.;
+  let r = Cg.solve_semidefinite ~tol:1e-13 l b in
+  (* x_i = c - i for some c fixed by the zero-mean gauge. *)
+  let expected =
+    let c = float_of_int (n - 1) /. 2. in
+    Array.init n (fun i -> c -. float_of_int i)
+  in
+  check_array_close ~rtol:1e-8 ~atol:1e-9 "neumann path" expected r.Cg.x;
+  check_close ~atol:1e-9 "zero mean" 0. (V.sum r.Cg.x)
+
+let test_cg_semidefinite_weighted_gauge () =
+  let n = 6 in
+  let l = path_laplacian n in
+  let b = Array.make n 0. in
+  b.(0) <- 2.;
+  b.(n - 1) <- -2.;
+  let weights = Array.init n (fun i -> float_of_int (i + 1)) in
+  let r = Cg.solve_semidefinite ~tol:1e-13 ~weights l b in
+  check_close ~atol:1e-8 "weighted gauge" 0. (V.dot weights r.Cg.x);
+  (* Gradient along the path must still be -2 per edge... per unit
+     conductance 1 and current 2. *)
+  for i = 0 to n - 2 do
+    check_close ~rtol:1e-7 ~atol:1e-8 "gradient" 2. (r.Cg.x.(i) -. r.Cg.x.(i + 1))
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Tridiag                                                           *)
+
+let test_tridiag_vs_dense () =
+  let rng = Rng.create 23L in
+  for _ = 0 to 4 do
+    let n = 2 + Rng.int rng 20 in
+    let t = Tri.create n in
+    for i = 0 to n - 1 do
+      t.Tri.diag.(i) <- 4. +. Rng.float rng 2.;
+      if i < n - 1 then begin
+        t.Tri.upper.(i) <- Rng.uniform rng (-1.) 1.;
+        t.Tri.lower.(i) <- Rng.uniform rng (-1.) 1.
+      end
+    done;
+    let x_true = Array.init n (fun i -> cos (float_of_int i)) in
+    let b = Tri.mul_vec t x_true in
+    check_array_close ~rtol:1e-9 "thomas" x_true (Tri.solve t b);
+    (* Cross-check against the sparse representation. *)
+    check_array_close ~rtol:1e-10 "to_sparse"
+      (Sp.mul_vec (Tri.to_sparse t) x_true)
+      b
+  done
+
+let test_tridiag_single () =
+  let t = Tri.create 1 in
+  t.Tri.diag.(0) <- 2.;
+  check_array_close "1x1" [| 3. |] (Tri.solve t [| 6. |])
+
+(* ---------------------------------------------------------------- *)
+(* Stats                                                             *)
+
+let test_stats_basics () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_close "mean" 5. (Stats.mean xs);
+  check_close "stddev" 2. (Stats.stddev xs);
+  let lo, hi = Stats.min_max xs in
+  check_close "min" 2. lo;
+  check_close "max" 9. hi
+
+let test_stats_percentile () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_close "p0" 1. (Stats.percentile xs 0.);
+  check_close "p100" 4. (Stats.percentile xs 100.);
+  check_close "median" 2.5 (Stats.median xs);
+  check_close "p25" 1.75 (Stats.percentile xs 25.)
+
+let test_stats_errors () =
+  check_raises_invalid "empty percentile" (fun () -> Stats.percentile [||] 50.);
+  check_raises_invalid "bad p" (fun () -> Stats.percentile [| 1. |] 101.)
+
+let test_stats_histogram () =
+  let xs = [| 0.1; 0.2; 0.6; 2.5; -1. |] in
+  let h = Stats.histogram xs ~bins:2 ~lo:0. ~hi:1. in
+  (* -1 clamps into bin 0; 2.5 clamps into bin 1. *)
+  Alcotest.(check (list int)) "hist" [ 3; 2 ] (Array.to_list h)
+
+let test_stats_errors_metrics () =
+  check_close "rmse" 1. (Stats.rmse [| 1.; 2. |] [| 2.; 1. |]);
+  check_close "rmse scaled" (sqrt 2.5) (Stats.rmse [| 0.; 0. |] [| 1.; 2. |]);
+  check_close "max_rel_error" 0.5 (Stats.max_rel_error [| 1.; 3. |] [| 2.; 3. |])
+
+(* ---------------------------------------------------------------- *)
+(* Rng                                                               *)
+
+let test_rng_determinism () =
+  let a = Rng.create 99L and b = Rng.create 99L in
+  for _ = 0 to 99 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_ranges () =
+  let rng = Rng.create 1L in
+  for _ = 0 to 999 do
+    let f = Rng.float rng 3. in
+    Alcotest.(check bool) "float range" true (f >= 0. && f < 3.);
+    let i = Rng.int rng 7 in
+    Alcotest.(check bool) "int range" true (i >= 0 && i < 7);
+    let u = Rng.uniform rng (-2.) 5. in
+    Alcotest.(check bool) "uniform range" true (u >= -2. && u < 5.)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 5L in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mean:3. ~stddev:2.) in
+  check_close ~rtol:0.05 "gauss mean" 3. (Stats.mean xs);
+  check_close ~rtol:0.05 "gauss stddev" 2. (Stats.stddev xs)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 31L in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split_independent () =
+  let parent = Rng.create 77L in
+  let child = Rng.split parent in
+  (* The child stream must differ from the parent's continuation. *)
+  let same = ref true in
+  for _ = 0 to 9 do
+    if Rng.int64 parent <> Rng.int64 child then same := false
+  done;
+  Alcotest.(check bool) "independent streams" false !same
+
+
+(* ---------------------------------------------------------------- *)
+(* Cholesky                                                          *)
+
+module Ch = Numerics.Cholesky
+
+let test_cholesky_small_known () =
+  (* [[4,1],[1,3]]: x = A \ b checked against the dense solver. *)
+  let b = Sp.Builder.create 2 2 in
+  Sp.Builder.add b 0 0 4.;
+  Sp.Builder.add b 0 1 1.;
+  Sp.Builder.add b 1 0 1.;
+  Sp.Builder.add b 1 1 3.;
+  let a = Sp.Builder.to_csr b in
+  let f = Ch.factorize a in
+  let x = Ch.solve f [| 1.; 2. |] in
+  let expected = D.solve (Sp.to_dense a) [| 1.; 2. |] in
+  check_array_close ~rtol:1e-12 "2x2" expected x
+
+let test_cholesky_random_spd () =
+  let rng = Rng.create 61L in
+  List.iter
+    (fun ordering ->
+      for trial = 0 to 4 do
+        let n = 5 + Rng.int rng 40 in
+        let a = random_spd rng n in
+        let f = Ch.factorize ~ordering a in
+        let x_true = Array.init n (fun i -> sin (float_of_int (i * 7))) in
+        let b = Sp.mul_vec a x_true in
+        check_array_close ~rtol:1e-9 ~atol:1e-12
+          (Printf.sprintf "trial %d (n=%d)" trial n)
+          x_true (Ch.solve f b);
+        (* The factorization is reusable across right-hand sides. *)
+        let b2 = Sp.mul_vec a (Array.make n 1.) in
+        check_array_close ~rtol:1e-9 ~atol:1e-12 "second rhs" (Array.make n 1.)
+          (Ch.solve f b2)
+      done)
+    [ Ch.Natural; Ch.Rcm ]
+
+let test_cholesky_vs_cg () =
+  let rng = Rng.create 67L in
+  let a = random_spd rng 60 in
+  let b = Array.init 60 (fun i -> cos (float_of_int i)) in
+  let direct = Ch.solve (Ch.factorize a) b in
+  let iterative = (Cg.solve ~tol:1e-13 a b).Cg.x in
+  check_array_close ~rtol:1e-8 ~atol:1e-11 "direct vs CG" iterative direct
+
+let test_cholesky_not_spd () =
+  (* A singular Laplacian has a zero pivot at the end. *)
+  let l = path_laplacian 5 in
+  (match Ch.factorize l with
+  | exception Ch.Not_positive_definite _ -> ()
+  | _ -> Alcotest.fail "singular Laplacian must be rejected");
+  (* An indefinite matrix fails too. *)
+  let b = Sp.Builder.create 2 2 in
+  Sp.Builder.add b 0 0 1.;
+  Sp.Builder.add b 1 1 (-1.);
+  match Ch.factorize (Sp.Builder.to_csr b) with
+  | exception Ch.Not_positive_definite 1 -> ()
+  | exception Ch.Not_positive_definite _ -> ()
+  | _ -> Alcotest.fail "indefinite matrix must be rejected"
+
+let test_cholesky_grounded_laplacian () =
+  (* Pinning one node of a Laplacian (the MNA reduction) makes it SPD:
+     the canonical power-grid use. *)
+  let n = 40 in
+  let l = path_laplacian n in
+  let grounded = Sp.add_diagonal l (Array.init n (fun i -> if i = 0 then 1. else 0.)) in
+  let f = Ch.factorize grounded in
+  let x_true = Array.init n (fun i -> float_of_int i /. 10.) in
+  let b = Sp.mul_vec grounded x_true in
+  check_array_close ~rtol:1e-9 ~atol:1e-10 "grounded path" x_true (Ch.solve f b);
+  Alcotest.(check bool) "fill bounded on a path" true
+    (Ch.nnz_l f <= 2 * n)
+
+let test_cholesky_rcm_reduces_fill () =
+  (* A 2-D grid Laplacian (+I): RCM should not increase fill vs a
+     scrambled natural order. *)
+  let rows = 12 and cols = 12 in
+  let n = rows * cols in
+  let rng = Rng.create 71L in
+  let scramble = Array.init n (fun i -> i) in
+  Rng.shuffle rng scramble;
+  let b = Sp.Builder.create n n in
+  let idx r c = scramble.((r * cols) + c) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Sp.Builder.add b (idx r c) (idx r c) 5.;
+      let couple r2 c2 =
+        if r2 >= 0 && r2 < rows && c2 >= 0 && c2 < cols then begin
+          Sp.Builder.add b (idx r c) (idx r2 c2) (-1.)
+        end
+      in
+      couple (r - 1) c;
+      couple (r + 1) c;
+      couple r (c - 1);
+      couple r (c + 1)
+    done
+  done;
+  let a = Sp.Builder.to_csr b in
+  let natural = Ch.factorize ~ordering:Ch.Natural a in
+  let rcm = Ch.factorize ~ordering:Ch.Rcm a in
+  Alcotest.(check bool)
+    (Printf.sprintf "fill: rcm %d vs natural %d" (Ch.nnz_l rcm)
+       (Ch.nnz_l natural))
+    true
+    (Ch.nnz_l rcm <= Ch.nnz_l natural);
+  (* And both solve correctly. *)
+  let x_true = Array.init n (fun i -> float_of_int (i mod 7)) in
+  let rhs = Sp.mul_vec a x_true in
+  check_array_close ~rtol:1e-9 ~atol:1e-10 "scrambled grid" x_true
+    (Ch.solve rcm rhs)
+
+let test_cholesky_permutation_is_permutation () =
+  let rng = Rng.create 73L in
+  let a = random_spd rng 30 in
+  let f = Ch.factorize a in
+  let p = Ch.ordering_permutation f in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 30 (fun i -> i)) sorted;
+  Alcotest.(check int) "dim" 30 (Ch.dim f)
+
+
+(* ---------------------------------------------------------------- *)
+(* Parallel                                                          *)
+
+module Par = Numerics.Parallel
+
+let test_parallel_matches_sequential () =
+  let xs = Array.init 1000 (fun i -> i) in
+  let f i = float_of_int (i * i) +. sin (float_of_int i) in
+  let seq = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array (float 1e-12)))
+        (Printf.sprintf "jobs=%d" jobs)
+        seq (Par.map ~jobs f xs))
+    [ 1; 2; 3; 7 ]
+
+let test_parallel_edge_cases () =
+  Alcotest.(check (array int)) "empty" [||] (Par.map ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "fewer items than jobs" [| 2; 4 |]
+    (Par.map ~jobs:8 (fun x -> 2 * x) [| 1; 2 |]);
+  check_raises_invalid "jobs < 1" (fun () ->
+      ignore (Par.map ~jobs:0 (fun x -> x) [| 1 |]));
+  Alcotest.(check bool) "recommended >= 1" true (Par.recommended_jobs () >= 1)
+
+let test_parallel_exception_propagates () =
+  match
+    Par.map ~jobs:4 (fun i -> if i = 37 then failwith "boom" else i)
+      (Array.init 100 (fun i -> i))
+  with
+  | exception Failure m -> Alcotest.(check string) "original exn" "boom" m
+  | _ -> Alcotest.fail "expected failure"
+
+let test_parallel_list () =
+  Alcotest.(check (list int)) "map_list" [ 2; 3; 4 ]
+    (Par.map_list ~jobs:2 (fun x -> x + 1) [ 1; 2; 3 ])
+
+let suites =
+  [
+    ( "numerics.vector",
+      [
+        case "basics" test_vector_basics;
+        case "axpy/xpay" test_vector_axpy;
+        case "dimension mismatch" test_vector_dim_mismatch;
+        case "rel_diff / approx_equal" test_vector_rel_diff;
+        case "empty vectors" test_vector_empty;
+      ] );
+    ( "numerics.dense",
+      [
+        case "2x2 solve" test_dense_solve_known;
+        case "pivoting" test_dense_solve_pivoting;
+        case "singular detection" test_dense_singular;
+        case "random roundtrips" test_dense_random_roundtrip;
+        case "determinant" test_dense_determinant;
+        case "matrix product" test_dense_mul;
+        case "least squares" test_dense_least_squares;
+      ] );
+    ( "numerics.sparse",
+      [
+        case "builder duplicate summing" test_sparse_builder_duplicates;
+        case "spmv matches dense" test_sparse_spmv_vs_dense;
+        case "transpose" test_sparse_transpose;
+        case "symmetry detection" test_sparse_symmetry;
+        case "add / add_diagonal" test_sparse_add_and_diag;
+        case "empty rows" test_sparse_empty_row;
+      ] );
+    ( "numerics.cg",
+      [
+        case "SPD systems" test_cg_spd;
+        case "unpreconditioned" test_cg_no_precondition;
+        case "zero rhs" test_cg_zero_rhs;
+        case "semidefinite path Laplacian" test_cg_semidefinite_path;
+        case "weighted gauge" test_cg_semidefinite_weighted_gauge;
+      ] );
+    ( "numerics.cholesky",
+      [
+        case "2x2 known" test_cholesky_small_known;
+        case "random SPD, both orderings" test_cholesky_random_spd;
+        case "agrees with CG" test_cholesky_vs_cg;
+        case "rejects non-SPD" test_cholesky_not_spd;
+        case "grounded Laplacian" test_cholesky_grounded_laplacian;
+        case "RCM fill on scrambled grid" test_cholesky_rcm_reduces_fill;
+        case "ordering is a permutation" test_cholesky_permutation_is_permutation;
+      ] );
+    ( "numerics.tridiag",
+      [
+        case "Thomas vs dense" test_tridiag_vs_dense;
+        case "1x1" test_tridiag_single;
+      ] );
+    ( "numerics.stats",
+      [
+        case "mean/stddev/minmax" test_stats_basics;
+        case "percentiles" test_stats_percentile;
+        case "error handling" test_stats_errors;
+        case "histogram clamping" test_stats_histogram;
+        case "rmse / max_rel_error" test_stats_errors_metrics;
+      ] );
+    ( "numerics.parallel",
+      [
+        case "matches sequential" test_parallel_matches_sequential;
+        case "edge cases" test_parallel_edge_cases;
+        case "exception propagation" test_parallel_exception_propagates;
+        case "map_list" test_parallel_list;
+      ] );
+    ( "numerics.rng",
+      [
+        case "determinism" test_rng_determinism;
+        case "ranges" test_rng_ranges;
+        case "gaussian moments" test_rng_gaussian_moments;
+        case "shuffle permutes" test_rng_shuffle_permutes;
+        case "split independence" test_rng_split_independent;
+      ] );
+  ]
