@@ -1,15 +1,18 @@
 (* E7: runtime scaling of the linear-time test against the slow exact
    baselines — the paper's "few minutes vs over an hour" comparison
-   against Sun et al. [19]. Workloads are random multi-segment trees with
-   random currents (trees impose no cycle-consistency constraint). *)
+   against Sun et al. [19] — plus the columnar (SoA) solver against the
+   boxed one. Workloads are random multi-segment trees with random
+   currents (trees impose no cycle-consistency constraint). *)
 
 module St = Em_core.Structure
+module Cc = Em_core.Compact
 module Ss = Em_core.Steady_state
 module Naive = Em_core.Baseline_naive
 module Linsys = Em_core.Baseline_linsys
 module U = Em_core.Units
 module M = Em_core.Material
 module Rp = Emflow.Report
+module J = Emflow.Json_out
 module Rng = Numerics.Rng
 
 let cu = M.cu_dac21
@@ -23,50 +26,138 @@ let tree_of_size n seed =
         ~j:(Rng.uniform rng (-5e10) 5e10)
         ())
 
+(* Best-of-[reps] wall time: the boxed-vs-columnar comparison measures
+   the steady state of each solver, not one cold run's GC luck. *)
+let best_of reps f =
+  let result, t0 = B_util.wall f in
+  let best = ref t0 in
+  for _ = 2 to reps do
+    let _, t = B_util.wall f in
+    if t < !best then best := t
+  done;
+  (result, !best)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i x ->
+           if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i)))
+           then ok := false)
+         a;
+       !ok
+     end
+
 let run cfg =
   B_util.heading
-    "Runtime scaling: linear-time test vs naive Eq.(19) vs linear system";
+    "Runtime scaling: linear-time test (boxed vs columnar) vs naive Eq.(19) \
+     vs linear system";
   let sizes =
     if cfg.B_util.full then [ 1_000; 3_000; 10_000; 30_000; 100_000; 300_000; 1_000_000 ]
     else [ 1_000; 3_000; 10_000; 30_000; 100_000; 300_000 ]
   in
   let naive_cap = if cfg.B_util.full then 30_000 else 10_000 in
   let linsys_cap = if cfg.B_util.full then 300_000 else 100_000 in
+  let reps = 3 in
+  let ws = Ss.Workspace.create () in
   let table =
-    Rp.create [ "edges"; "linear-time"; "naive O(VE)"; "lin. system (CG)" ]
+    Rp.create
+      [
+        "edges"; "boxed"; "columnar"; "speedup"; "seg/s (col.)";
+        "naive O(VE)"; "lin. system (CG)";
+      ]
   in
+  let rows = ref [] in
   List.iter
     (fun n ->
       let s = tree_of_size n 17L in
-      let sol, t_fast = B_util.wall (fun () -> Ss.solve cu s) in
-      let naive_cell =
+      let sol, t_boxed = best_of reps (fun () -> Ss.solve cu s) in
+      let c, t_convert = B_util.wall (fun () -> Cc.of_structure s) in
+      let csol, t_compact =
+        best_of reps (fun () -> Ss.solve_compact ~ws cu c)
+      in
+      (* The columnar path must reproduce the boxed stresses bit for
+         bit — it is the same algorithm on a different layout. *)
+      assert (bits_equal csol.Ss.node_stress sol.Ss.node_stress);
+      let speedup = t_boxed /. t_compact in
+      let segs_per_s = float_of_int n /. t_compact in
+      let naive =
         if n <= naive_cap then begin
           let sol', t = B_util.wall (fun () -> Naive.solve cu s) in
           assert (
             Numerics.Stats.max_rel_error sol'.Ss.node_stress sol.Ss.node_stress
             < 1e-6);
-          Rp.seconds_cell t
+          Some t
         end
-        else "(skipped)"
+        else None
       in
-      let linsys_cell =
+      let linsys =
         if n <= linsys_cap then begin
           let sol', t = B_util.wall (fun () -> Linsys.solve ~tol:1e-12 cu s) in
           assert (
             Numerics.Stats.max_rel_error sol'.Ss.node_stress sol.Ss.node_stress
             < 1e-3);
-          Rp.seconds_cell t
+          Some t
         end
-        else "(skipped)"
+        else None
       in
+      let opt_cell = function Some t -> Rp.seconds_cell t | None -> "(skipped)" in
       Rp.add_row table
-        [ Rp.int_cell n; Rp.seconds_cell t_fast; naive_cell; linsys_cell ])
+        [
+          Rp.int_cell n;
+          Rp.seconds_cell t_boxed;
+          Rp.seconds_cell t_compact;
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%.2e" segs_per_s;
+          opt_cell naive;
+          opt_cell linsys;
+        ];
+      let opt_json = function Some t -> J.Float t | None -> J.Null in
+      rows :=
+        J.Obj
+          [
+            ("edges", J.Int n);
+            ( "stages",
+              J.List
+                [
+                  J.Obj [ ("name", J.String "solve_boxed"); ("wall_s", J.Float t_boxed) ];
+                  J.Obj [ ("name", J.String "convert"); ("wall_s", J.Float t_convert) ];
+                  J.Obj
+                    [ ("name", J.String "solve_columnar"); ("wall_s", J.Float t_compact) ];
+                ] );
+            ("boxed_s", J.Float t_boxed);
+            ("columnar_s", J.Float t_compact);
+            ("speedup", J.Float speedup);
+            ("boxed_segments_per_s", J.Float (float_of_int n /. t_boxed));
+            ("columnar_segments_per_s", J.Float segs_per_s);
+            ("naive_s", opt_json naive);
+            ("linsys_s", opt_json linsys);
+          ]
+        :: !rows)
     sizes;
   Rp.print table;
+  B_util.ensure_out_dir cfg;
+  let json_path = B_util.out_path cfg "BENCH_scaling.json" in
+  let oc = open_out json_path in
+  J.to_channel oc
+    (J.Obj
+       [
+         ("bench", J.String "scaling");
+         ("full", J.Bool cfg.B_util.full);
+         ("reps", J.Int reps);
+         ("rows", J.List (List.rev !rows));
+       ]);
+  output_char oc '\n';
+  close_out oc;
+  B_util.note "Per-size timings written to %s." json_path;
   B_util.note
     "The naive per-node evaluation of Eq. (19) grows superlinearly (the";
   B_util.note
     "regime of [19]'s per-structure closed forms, >1 h on IBM grids per the";
   B_util.note
-    "paper); the linear-time method stays proportional to |E|. Baseline";
-  B_util.note "results are asserted equal to the linear-time stresses."
+    "paper); the linear-time method stays proportional to |E|. The columnar";
+  B_util.note
+    "solver is the same algorithm on flat arrays with a reused workspace;";
+  B_util.note
+    "its stresses are asserted bit-identical to the boxed solver's."

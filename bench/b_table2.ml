@@ -5,6 +5,7 @@ module Gg = Pdn.Grid_gen
 module Flow = Emflow.Em_flow
 module Cl = Em_core.Classify
 module Rp = Emflow.Report
+module J = Emflow.Json_out
 
 let sizes = [ Gg.Pg1; Gg.Pg2; Gg.Pg3; Gg.Pg6 ]
 
@@ -50,6 +51,46 @@ let run cfg =
       sizes
   in
   Rp.print ours;
+  B_util.ensure_out_dir cfg;
+  let json_path = B_util.out_path cfg "BENCH_table2.json" in
+  let oc = open_out json_path in
+  J.to_channel oc
+    (J.Obj
+       [
+         ("bench", J.String "table2");
+         ("full", J.Bool cfg.B_util.full);
+         ( "grids",
+           J.List
+             (List.map
+                (fun (size, grid, (r : Flow.result)) ->
+                  let analyze_wall =
+                    List.fold_left
+                      (fun acc (s : Emflow.Pipeline.stage) ->
+                        match s.Emflow.Pipeline.name with
+                        | "analyze" | "classify" ->
+                          acc +. s.Emflow.Pipeline.wall_s
+                        | _ -> acc)
+                      0. r.Flow.stages
+                  in
+                  J.Obj
+                    [
+                      ("grid", J.String (Gg.ibm_size_name size));
+                      ("scale", J.Float (B_util.ibm_scale cfg size));
+                      ("edges", J.Int (grid.Gg.num_wires + grid.Gg.num_vias));
+                      ("structures", J.Int r.Flow.num_structures);
+                      ("segments", J.Int r.Flow.num_segments);
+                      ("counts", J.of_counts r.Flow.counts);
+                      ("stages", J.of_stages r.Flow.stages);
+                      ( "segments_per_s",
+                        if analyze_wall > 0. then
+                          J.Float (float_of_int r.Flow.num_segments /. analyze_wall)
+                        else J.Null );
+                    ])
+                results) );
+       ]);
+  output_char oc '\n';
+  close_out oc;
+  B_util.note "Per-grid counts and stage timings written to %s." json_path;
   B_util.note
     "EM CPU is the immortality analysis alone (the paper's algorithm);";
   B_util.note

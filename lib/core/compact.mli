@@ -1,0 +1,69 @@
+(** Structure-of-arrays interconnect representation (the columnar core).
+
+    {!Structure.t} boxes a 4-field record per segment behind a boxed
+    graph; at power-grid scale the pointer chasing and per-record
+    allocation dominate the O(|E|) steady-state algorithm's constant
+    factor. [Compact] stores the same information as flat parallel
+    columns — [length]/[width]/[height]/[wh]/[j] float arrays,
+    [tail]/[head] int arrays — plus the CSR adjacency
+    ([offsets]/[adj_edge]/[adj_nbr]), so {!Steady_state.solve_compact}
+    streams through contiguous unboxed memory.
+
+    Conversions to and from {!Structure.t} are lossless (every geometry
+    and current value is copied bit-for-bit) and preserve segment ids,
+    node ids, and adjacency order, so both representations produce
+    bit-identical analyses; the baselines and the PDE layer keep
+    consuming [Structure.t] through the converters and thereby keep
+    guarding the columnar path's correctness. *)
+
+type t = {
+  num_nodes : int;
+  tail : int array;     (** per segment: reference-direction source *)
+  head : int array;     (** per segment: reference-direction target *)
+  length : float array; (** m, > 0 *)
+  width : float array;  (** m, > 0 *)
+  height : float array; (** m, > 0 *)
+  wh : float array;     (** precomputed cross-section [width *. height], m^2 *)
+  j : float array;      (** signed current density along the reference, A/m^2 *)
+  offsets : int array;  (** CSR: length [num_nodes + 1] *)
+  adj_edge : int array; (** CSR: segment id per incidence slot *)
+  adj_nbr : int array;  (** CSR: neighbor per incidence slot *)
+}
+
+val num_nodes : t -> int
+
+val num_segments : t -> int
+
+val make :
+  num_nodes:int ->
+  tail:int array ->
+  head:int array ->
+  length:float array ->
+  width:float array ->
+  height:float array ->
+  j:float array ->
+  t
+(** Validates endpoints and geometry like {!Structure.make} (positive
+    geometry, finite currents, no self-loops, at least one segment) and
+    builds the CSR adjacency. The input arrays become owned columns: do
+    not mutate them afterwards. *)
+
+val of_structure : Structure.t -> t
+(** Columnarize; shares the graph's CSR arrays (no adjacency rebuild). *)
+
+val to_structure : t -> Structure.t
+(** Boxed view for baselines / the PDE layer. Lossless inverse of
+    {!of_structure} up to representation. *)
+
+val degree : t -> int -> int
+
+val default_reference : t -> int
+(** Lowest-numbered terminus (degree-1 node), or node 0 when there is
+    none — the same choice {!Steady_state.solve} makes. *)
+
+val volume : t -> float
+(** [sum_k wh_k l_k], the paper's normalization constant [A] (m^3). *)
+
+val total_length : t -> float
+
+val is_connected : t -> bool

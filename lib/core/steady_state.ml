@@ -77,19 +77,121 @@ let solve_components material s =
   in
   (solutions, comps.Components.node_component)
 
+(* ------------------------------------------------------------------ *)
+(* Columnar path                                                       *)
+
+module Workspace = struct
+  type t = {
+    mutable queue : int array;     (* grow-only *)
+    mutable reached : bool array;  (* grow-only, cleared per solve *)
+    mutable b : float array;       (* exact-size, swapped on size change *)
+    mutable stress : float array;  (* exact-size, swapped on size change *)
+  }
+
+  let create () = { queue = [||]; reached = [||]; b = [||]; stress = [||] }
+
+  let buffers ws n =
+    if Array.length ws.queue < n then begin
+      ws.queue <- Array.make n 0;
+      ws.reached <- Array.make n false
+    end
+    else Array.fill ws.reached 0 n false;
+    (* The result arrays must be exactly node-count long (callers measure
+       them); reuse only when the size repeats, which is the hot case of
+       scanning many same-shape structures. *)
+    if Array.length ws.b <> n then begin
+      ws.b <- Array.make n 0.;
+      ws.stress <- Array.make n 0.
+    end;
+    (ws.queue, ws.reached, ws.b, ws.stress)
+end
+
+(* The Section-IV one-pass algorithm on the structure-of-arrays layout:
+   Blech sums accumulate during the BFS itself (no spanning-tree record,
+   no parent arrays), then one sweep over the segment columns builds A
+   and Q, then one sweep over the nodes evaluates the stresses. The
+   arithmetic mirrors [solve_component] expression by expression, and
+   the CSR adjacency preserves [Ugraph]'s incidence order, so results
+   are bit-identical to the boxed path. *)
+let solve_compact ?reference ?ws material (c : Compact.t) =
+  let n = Compact.num_nodes c in
+  let m = Compact.num_segments c in
+  let beta = Material.beta material in
+  let reference =
+    match reference with
+    | Some r ->
+      if r < 0 || r >= n then
+        invalid_arg "Steady_state.solve_compact: reference out of range";
+      r
+    | None -> Compact.default_reference c
+  in
+  let queue, reached, b, stress =
+    match ws with
+    | Some ws -> Workspace.buffers ws n
+    | None -> (Array.make n 0, Array.make n false, Array.make n 0., Array.make n 0.)
+  in
+  (* Step 1: Blech sums along the BFS tree, computed at discovery. *)
+  let tails = c.Compact.tail in
+  let lengths = c.Compact.length and js = c.Compact.j in
+  let offsets = c.Compact.offsets in
+  let adj_edge = c.Compact.adj_edge and adj_nbr = c.Compact.adj_nbr in
+  b.(reference) <- 0.;
+  reached.(reference) <- true;
+  queue.(0) <- reference;
+  let qhead = ref 0 and qtail = ref 1 in
+  while !qhead < !qtail do
+    let v = queue.(!qhead) in
+    incr qhead;
+    for slot = offsets.(v) to offsets.(v + 1) - 1 do
+      let u = adj_nbr.(slot) in
+      if not reached.(u) then begin
+        let e = adj_edge.(slot) in
+        let jhat = if tails.(e) = v then js.(e) else -.js.(e) in
+        b.(u) <- b.(v) +. (jhat *. lengths.(e));
+        reached.(u) <- true;
+        queue.(!qtail) <- u;
+        incr qtail
+      end
+    done
+  done;
+  if !qtail <> n then
+    invalid_arg "Steady_state.solve_compact: structure is disconnected";
+  (* Step 2: A and Q over every segment column. *)
+  let whs = c.Compact.wh in
+  let volume = ref 0. and q = ref 0. in
+  for k = 0 to m - 1 do
+    let wh = whs.(k) in
+    let l = lengths.(k) in
+    let j = js.(k) in
+    volume := !volume +. (wh *. l);
+    q := !q +. (wh *. ((j *. l *. l /. 2.) +. (b.(tails.(k)) *. l)))
+  done;
+  (* Step 3: node stresses. *)
+  let q_over_a = !q /. !volume in
+  for i = 0 to n - 1 do
+    stress.(i) <- beta *. (q_over_a -. b.(i))
+  done;
+  { reference; node_stress = stress; blech_sum = b; volume = !volume; q = !q; beta }
+
 let segment_stress sol s k =
   let tail, head = Structure.endpoints s k in
   (sol.node_stress.(tail), sol.node_stress.(head))
 
 let extreme_stress cmp sol =
   let best = ref (-1) in
+  (* Keep the running best in a ref instead of re-reading
+     node_stress.(!best) inside the comparator. *)
+  let best_v = ref Float.nan in
   Array.iteri
     (fun i v ->
       if not (Float.is_nan v) then
-        if !best < 0 || cmp v sol.node_stress.(!best) then best := i)
+        if !best < 0 || cmp v !best_v then begin
+          best := i;
+          best_v := v
+        end)
     sol.node_stress;
   if !best < 0 then invalid_arg "Steady_state: empty solution";
-  (sol.node_stress.(!best), !best)
+  (!best_v, !best)
 
 let max_stress sol = extreme_stress ( > ) sol
 

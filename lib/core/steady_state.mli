@@ -38,6 +38,33 @@ val solve_components : Material.t -> Structure.t -> solution array * int array
     still indexed by the {e global} node id; entries for nodes outside the
     component are [nan]. *)
 
+(** Scratch buffers for {!solve_compact}: BFS queue, reached flags, and
+    the Blech-sum / stress result columns. Reusing one workspace across a
+    scan over many structures drops the per-structure allocation of the
+    columnar path to (near) zero when consecutive structures share a node
+    count, and to two exact-size float arrays otherwise. *)
+module Workspace : sig
+  type t
+
+  val create : unit -> t
+end
+
+val solve_compact :
+  ?reference:int -> ?ws:Workspace.t -> Material.t -> Compact.t -> solution
+(** {!solve} on the columnar representation: the Blech sums are
+    accumulated during the BFS itself and the [A]/[Q] sweep streams the
+    flat segment columns, so the whole algorithm runs allocation-free on
+    a warm workspace. Produces bit-identical results to
+    [solve material (Compact.to_structure c)].
+
+    Raises [Invalid_argument] if the structure is disconnected or
+    [reference] is out of range.
+
+    With [?ws], [node_stress] and [blech_sum] in the returned solution
+    alias workspace buffers and are overwritten by the next
+    [solve_compact] through the same workspace — copy them if they must
+    outlive it. *)
+
 val segment_stress : solution -> Structure.t -> int -> float * float
 (** [(sigma_tail, sigma_head)] at a segment's endpoints; by Corollary 2
     the extreme stresses of the segment are attained there. *)

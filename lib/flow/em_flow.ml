@@ -1,7 +1,6 @@
 module M = Em_core.Material
-module St = Em_core.Structure
-module Im = Em_core.Immortality
-module Bl = Em_core.Blech
+module Ss = Em_core.Steady_state
+module Cc = Em_core.Compact
 module Cl = Em_core.Classify
 module Maxpath = Em_core.Baseline_maxpath
 
@@ -23,87 +22,140 @@ type result = {
   solve_time : float;
   extract_time : float;
   analysis_time : float;
+  stages : Pipeline.stage list;
 }
 
-(* Per-structure analysis is pure, so it parallelizes over domains; the
-   per-structure partial results are merged in input order afterwards. *)
-let analyze_one material with_maxpath (es : Extract.em_structure) =
-  let s = es.Extract.structure in
-  let report = Im.check material s in
-  let blech = Bl.filter material s in
+(* Per-structure analysis on the columnar representation: one
+   [solve_compact] through the worker's workspace, then the Blech filter
+   and the exact endpoint test read the flat columns directly. The
+   arithmetic matches [Immortality.check] + [Blech.filter] on the boxed
+   path expression for expression, so the confusion counts are
+   bit-identical. *)
+let analyze_one material with_maxpath ws (cs : Extract.compact_structure) =
+  let c = cs.Extract.compact in
+  let sol = Ss.solve_compact ~ws material c in
+  let threshold = M.effective_critical_stress material in
+  let jl_crit = M.jl_crit material in
+  let stress = sol.Ss.node_stress in
+  let node_immortal i =
+    let sigma = stress.(i) in
+    Float.is_nan sigma || sigma < threshold
+  in
   let maxpath =
-    if with_maxpath then Maxpath.segment_immortal material s else [||]
+    if with_maxpath then Maxpath.segment_immortal material (Cc.to_structure c)
+    else [||]
   in
-  let n = St.num_segments s in
-  let records =
-    Array.init n (fun k ->
-        let seg = St.seg s k in
-        let exact = report.Im.segment_immortal.(k) in
-        {
-          layer = es.Extract.layer_level;
-          length = seg.St.length;
-          j = seg.St.current_density;
-          blech_immortal = blech.(k);
-          exact_immortal = exact;
-          maxpath_immortal = (if with_maxpath then maxpath.(k) else exact);
-        })
-  in
-  records
+  Array.init (Cc.num_segments c) (fun k ->
+      let l = c.Cc.length.(k) in
+      let j = c.Cc.j.(k) in
+      let exact =
+        node_immortal c.Cc.tail.(k) && node_immortal c.Cc.head.(k)
+      in
+      {
+        layer = cs.Extract.cs_layer_level;
+        length = l;
+        j;
+        blech_immortal = Float.abs j *. l <= jl_crit;
+        exact_immortal = exact;
+        maxpath_immortal = (if with_maxpath then maxpath.(k) else exact);
+      })
 
-let run_on_structures ?(material = M.cu_dac21) ?(with_maxpath = false) ?jobs
-    structures =
+(* Analyze + classify on already-columnar structures, recording stages
+   into [p]. [analysis_time] keeps the historical convention: wall time
+   when explicitly parallel (CPU time would double-count the workers),
+   CPU time otherwise. *)
+let finish_run p ~material ~with_maxpath ?jobs compacts =
   let t0 = Sys.time () in
   let wall0 = Unix.gettimeofday () in
   let per_structure =
-    Numerics.Parallel.map ?jobs
-      (analyze_one material with_maxpath)
-      (Array.of_list structures)
+    Pipeline.run p "analyze" (fun () ->
+        Numerics.Parallel.map_local ?jobs
+          ~local:(fun () -> Ss.Workspace.create ())
+          (fun ws cs -> analyze_one material with_maxpath ws cs)
+          (Array.of_list compacts))
   in
-  let counts = ref Cl.empty in
-  let maxpath_counts = ref Cl.empty in
-  let num_segments = ref 0 in
-  Array.iter
-    (fun records ->
-      Array.iter
-        (fun r ->
-          counts :=
-            Cl.add_pair !counts ~predicted_immortal:r.blech_immortal
-              ~actual_immortal:r.exact_immortal;
-          if with_maxpath then
-            maxpath_counts :=
-              Cl.add_pair !maxpath_counts
-                ~predicted_immortal:r.maxpath_immortal
-                ~actual_immortal:r.exact_immortal;
-          incr num_segments)
-        records)
-    per_structure;
-  let segments = Array.concat (Array.to_list per_structure) in
-  (* Report wall time when parallel (CPU time would double-count the
-     workers), CPU time when sequential. *)
+  let counts, maxpath_counts, segments =
+    Pipeline.run p "classify" (fun () ->
+        let counts = ref Cl.empty in
+        let maxpath_counts = ref Cl.empty in
+        Array.iter
+          (Array.iter (fun r ->
+               counts :=
+                 Cl.add_pair !counts ~predicted_immortal:r.blech_immortal
+                   ~actual_immortal:r.exact_immortal;
+               if with_maxpath then
+                 maxpath_counts :=
+                   Cl.add_pair !maxpath_counts
+                     ~predicted_immortal:r.maxpath_immortal
+                     ~actual_immortal:r.exact_immortal))
+          per_structure;
+        let segments = Array.concat (Array.to_list per_structure) in
+        (!counts, (if with_maxpath then Some !maxpath_counts else None), segments))
+  in
   let analysis_time =
     match jobs with
     | Some j when j > 1 -> Unix.gettimeofday () -. wall0
     | _ -> Sys.time () -. t0
   in
+  (counts, maxpath_counts, segments, analysis_time)
+
+let stage_cpu p name =
+  List.fold_left
+    (fun acc (s : Pipeline.stage) ->
+      if String.equal s.Pipeline.name name then acc +. s.Pipeline.cpu_s else acc)
+    0. (Pipeline.stages p)
+
+let make_result p ~counts ~maxpath_counts ~segments ~num_structures ~analysis_time
+    =
   {
-    counts = !counts;
-    maxpath_counts = (if with_maxpath then Some !maxpath_counts else None);
+    counts;
+    maxpath_counts;
     segments;
-    num_structures = List.length structures;
-    num_segments = !num_segments;
-    solve_time = 0.;
-    extract_time = 0.;
+    num_structures;
+    num_segments = Array.length segments;
+    solve_time = stage_cpu p "solve";
+    extract_time = stage_cpu p "extract";
     analysis_time;
+    stages = Pipeline.stages p;
   }
 
+let run_on_compact ?(material = M.cu_dac21) ?(with_maxpath = false) ?jobs
+    ?(pipeline = Pipeline.create ()) compacts =
+  let counts, maxpath_counts, segments, analysis_time =
+    finish_run pipeline ~material ~with_maxpath ?jobs compacts
+  in
+  make_result pipeline ~counts ~maxpath_counts ~segments
+    ~num_structures:(List.length compacts) ~analysis_time
+
+let run_on_structures ?material ?with_maxpath ?jobs structures =
+  let p = Pipeline.create () in
+  (* Columnarizing shares each graph's CSR arrays, so ingest is a cheap
+     copy of the geometry columns; ids and adjacency order are
+     preserved, keeping results bit-identical to the boxed path. *)
+  let compacts =
+    Pipeline.run p "ingest" (fun () ->
+        List.map
+          (fun (es : Extract.em_structure) ->
+            {
+              Extract.cs_layer_level = es.Extract.layer_level;
+              compact = Cc.of_structure es.Extract.structure;
+              cs_node_names = es.Extract.node_names;
+              cs_element_ids = es.Extract.element_ids;
+            })
+          structures)
+  in
+  run_on_compact ?material ?with_maxpath ?jobs ~pipeline:p compacts
+
 let run ?material ?with_maxpath ?jobs (grid : Pdn.Grid_gen.generated) =
-  let t0 = Sys.time () in
-  let sol = Spice.Mna.solve grid.Pdn.Grid_gen.netlist in
-  let t1 = Sys.time () in
-  let structures = Extract.extract ~tech:grid.Pdn.Grid_gen.tech sol in
-  let t2 = Sys.time () in
-  let result = run_on_structures ?material ?with_maxpath ?jobs structures in
-  { result with solve_time = t1 -. t0; extract_time = t2 -. t1 }
+  let p = Pipeline.create () in
+  let sol =
+    Pipeline.run p "solve" (fun () -> Spice.Mna.solve grid.Pdn.Grid_gen.netlist)
+  in
+  let compacts =
+    Pipeline.run p "extract" (fun () ->
+        Extract.extract_compact ~tech:grid.Pdn.Grid_gen.tech sol)
+  in
+  run_on_compact ?material ?with_maxpath ?jobs ~pipeline:p compacts
 
 let pp_summary ppf r =
   Format.fprintf ppf
@@ -111,6 +163,10 @@ let pp_summary ppf r =
      solve %.2fs, extract %.2fs, EM analysis %.2fs@]"
     r.num_structures r.num_segments Cl.pp r.counts r.solve_time r.extract_time
     r.analysis_time;
-  match r.maxpath_counts with
+  (match r.maxpath_counts with
   | Some c -> Format.fprintf ppf "@,max-path vs exact: %a" Cl.pp c
-  | None -> ()
+  | None -> ());
+  List.iter
+    (fun (s : Pipeline.stage) ->
+      Format.fprintf ppf "@,  %a" Pipeline.pp_stage s)
+    r.stages

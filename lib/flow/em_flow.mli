@@ -1,8 +1,17 @@
 (** End-to-end EM immortality checking flow (the evaluation pipeline of
-    Tables II/III): solve the grid, extract per-layer structures, run the
-    exact linear-time test and the traditional Blech filter on every
-    segment, and tabulate the confusion matrix with the exact test as
-    ground truth.
+    Tables II/III): solve the grid, stream-extract per-layer columnar
+    structures, run the exact linear-time test and the traditional Blech
+    filter on every segment, and tabulate the confusion matrix with the
+    exact test as ground truth.
+
+    The flow is organized as {!Pipeline} stages
+    (solve -> extract -> analyze -> classify); each stage's wall/CPU
+    time and GC allocation are recorded in {!result.stages} and printed
+    by {!pp_summary}. Per-structure analysis runs on the columnar
+    {!Em_core.Compact.t} path through per-domain
+    {!Em_core.Steady_state.Workspace} scratch buffers, so it both
+    parallelizes over domains and allocates (near) nothing per
+    structure.
 
     The optional max-path heuristic (refs [12,13]) can be run
     side-by-side as an ablation. *)
@@ -25,6 +34,8 @@ type result = {
   solve_time : float;    (** DC operating point, CPU s *)
   extract_time : float;  (** structure extraction, CPU s *)
   analysis_time : float; (** EM analysis of all structures, CPU s *)
+  stages : Pipeline.stage list;
+      (** per-stage instrumentation, execution order *)
 }
 
 val run :
@@ -36,8 +47,18 @@ val run :
 (** Solves the DC operating point internally. [material] defaults to
     {!Em_core.Material.cu_dac21}; [with_maxpath] to [false]; [jobs]
     parallelizes the per-structure EM analysis over that many domains
-    (default 1; the DC solve stays sequential). With [jobs > 1] the
-    reported [analysis_time] is wall-clock rather than CPU time. *)
+    (the DC solve stays sequential). With [jobs > 1] the reported
+    [analysis_time] is wall-clock rather than CPU time. *)
+
+val run_on_compact :
+  ?material:Em_core.Material.t ->
+  ?with_maxpath:bool ->
+  ?jobs:int ->
+  ?pipeline:Pipeline.t ->
+  Extract.compact_structure list ->
+  result
+(** The analyze/classify half on already-columnar structures
+    (solve/extract times are 0 unless [pipeline] carries prior stages). *)
 
 val run_on_structures :
   ?material:Em_core.Material.t ->
@@ -45,7 +66,11 @@ val run_on_structures :
   ?jobs:int ->
   Extract.em_structure list ->
   result
-(** The EM-analysis half only, for callers that already solved and
-    extracted (solve/extract times are 0). *)
+(** Compatibility path for callers that already solved and extracted
+    boxed structures: columnarizes them (an extra "ingest" stage) and
+    delegates to {!run_on_compact}. Bit-identical counts to analyzing
+    the boxed structures directly. *)
 
 val pp_summary : Format.formatter -> result -> unit
+(** Totals, confusion counts, and one indented line per pipeline stage
+    (wall, CPU, allocated words). *)

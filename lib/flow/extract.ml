@@ -2,12 +2,20 @@ module N = Spice.Netlist
 module Mna = Spice.Mna
 module Ibm = Spice.Ibm_format
 module St = Em_core.Structure
+module Cc = Em_core.Compact
 
 type em_structure = {
   layer_level : int;
   structure : St.t;
   node_names : string array;
   element_ids : int array;
+}
+
+type compact_structure = {
+  cs_layer_level : int;
+  compact : Cc.t;
+  cs_node_names : string array;
+  cs_element_ids : int array;
 }
 
 type wire = {
@@ -20,12 +28,25 @@ type wire = {
   thickness : float;
 }
 
-let layer_by_level tech level =
-  let found = ref None in
+(* Dense level -> layer lookup. The naive per-resistor scan over
+   [tech.layers] costs O(|R| * layers); metal levels are small
+   non-negative ints, so one array indexed by level makes every lookup
+   O(1). Later table entries win on duplicate levels, matching the
+   old linear scan. *)
+let level_lookup tech =
+  let max_level =
+    Array.fold_left
+      (fun acc (l : Pdn.Tech.layer) -> max acc l.Pdn.Tech.level)
+      (-1) tech.Pdn.Tech.layers
+  in
+  let lut = Array.make (max_level + 1) None in
   Array.iter
-    (fun (l : Pdn.Tech.layer) -> if l.Pdn.Tech.level = level then found := Some l)
+    (fun (l : Pdn.Tech.layer) -> lut.(l.Pdn.Tech.level) <- Some l)
     tech.Pdn.Tech.layers;
-  !found
+  lut
+
+let lut_find lut level =
+  if level < 0 || level >= Array.length lut then None else lut.(level)
 
 let nm = 1e-9
 
@@ -33,6 +54,7 @@ let extract ~tech (sol : Mna.solution) =
   let net = sol.Mna.netlist in
   (* Decode every node name once. *)
   let coords = Array.map Ibm.decode net.N.node_names in
+  let lut = level_lookup tech in
   (* Pass 1: collect intra-layer wires grouped by metal level. *)
   let wires_by_level : (int, wire list ref) Hashtbl.t = Hashtbl.create 8 in
   Array.iteri
@@ -41,7 +63,7 @@ let extract ~tech (sol : Mna.solution) =
       | N.Resistor { pos; neg; ohms; _ } when ohms > 0. -> begin
         match (coords.(pos), coords.(neg)) with
         | Some ca, Some cb when ca.Ibm.layer = cb.Ibm.layer -> begin
-          match layer_by_level tech ca.Ibm.layer with
+          match lut_find lut ca.Ibm.layer with
           | None -> ()
           | Some layer ->
             let length =
@@ -181,3 +203,209 @@ let total_segments structures =
   List.fold_left
     (fun acc s -> acc + St.num_segments s.structure)
     0 structures
+
+(* ------------------------------------------------------------------ *)
+(* Streaming columnar extraction                                       *)
+
+(* Growable structure-of-arrays wire buffer, one per metal level. Wires
+   are appended in netlist element order, so every downstream ordering
+   (segment ids, node interning, element_ids) is ascending-by-element —
+   the same per-component order the list-based [extract] produces after
+   its prepend/re-reverse dance. *)
+type wire_buf = {
+  layer : Pdn.Tech.layer;
+  mutable n : int;
+  mutable w_elem : int array;
+  mutable w_a : int array;
+  mutable w_b : int array;
+  mutable w_len : float array;
+  mutable w_j : float array;
+  mutable w_width : float array;
+}
+
+let wire_buf layer =
+  {
+    layer;
+    n = 0;
+    w_elem = Array.make 16 0;
+    w_a = Array.make 16 0;
+    w_b = Array.make 16 0;
+    w_len = Array.make 16 0.;
+    w_j = Array.make 16 0.;
+    w_width = Array.make 16 0.;
+  }
+
+let wire_buf_push buf ~elem ~a ~b ~len ~j ~width =
+  let cap = Array.length buf.w_elem in
+  if buf.n = cap then begin
+    let grow mk old =
+      let fresh = mk (2 * cap) in
+      Array.blit old 0 fresh 0 cap;
+      fresh
+    in
+    buf.w_elem <- grow (fun c -> Array.make c 0) buf.w_elem;
+    buf.w_a <- grow (fun c -> Array.make c 0) buf.w_a;
+    buf.w_b <- grow (fun c -> Array.make c 0) buf.w_b;
+    buf.w_len <- grow (fun c -> Array.make c 0.) buf.w_len;
+    buf.w_j <- grow (fun c -> Array.make c 0.) buf.w_j;
+    buf.w_width <- grow (fun c -> Array.make c 0.) buf.w_width
+  end;
+  let k = buf.n in
+  buf.w_elem.(k) <- elem;
+  buf.w_a.(k) <- a;
+  buf.w_b.(k) <- b;
+  buf.w_len.(k) <- len;
+  buf.w_j.(k) <- j;
+  buf.w_width.(k) <- width;
+  buf.n <- k + 1
+
+let extract_compact ~tech (sol : Mna.solution) =
+  let net = sol.Mna.netlist in
+  let num_net_nodes = Array.length net.N.node_names in
+  let coords = Array.map Ibm.decode net.N.node_names in
+  let lut = level_lookup tech in
+  let num_levels = Array.length lut in
+  (* Pass 1: stream resistors straight into per-level columnar buffers
+     (same filters and formulas as [extract]). *)
+  let bufs : wire_buf option array = Array.make num_levels None in
+  Array.iteri
+    (fun elem e ->
+      match e with
+      | N.Resistor { pos; neg; ohms; _ } when ohms > 0. -> begin
+        match (coords.(pos), coords.(neg)) with
+        | Some ca, Some cb when ca.Ibm.layer = cb.Ibm.layer -> begin
+          match lut_find lut ca.Ibm.layer with
+          | None -> ()
+          | Some layer ->
+            let length = float_of_int (Ibm.manhattan_distance ca cb) *. nm in
+            if length > 0. then begin
+              let width =
+                layer.Pdn.Tech.resistivity *. length
+                /. (ohms *. layer.Pdn.Tech.thickness)
+              in
+              let wh = width *. layer.Pdn.Tech.thickness in
+              let j =
+                (sol.Mna.voltages.(neg) -. sol.Mna.voltages.(pos)) /. (ohms *. wh)
+              in
+              let buf =
+                match bufs.(ca.Ibm.layer) with
+                | Some b -> b
+                | None ->
+                  let b = wire_buf layer in
+                  bufs.(ca.Ibm.layer) <- Some b;
+                  b
+              in
+              wire_buf_push buf ~elem ~a:pos ~b:neg ~len:length ~j ~width
+            end
+        end
+        | _ -> ()
+      end
+      | N.Resistor _ | N.Current_source _ | N.Voltage_source _ -> ())
+    net.N.elements;
+  (* Pass 2: per level, one interning sweep, union-find grouping, then a
+     counting sort by component — all on flat int arrays. [local] maps
+     netlist node id -> level-local id; it is shared across levels and
+     reset by walking the level's wires again, so the cost stays
+     O(wires), not O(netlist nodes * levels). *)
+  let local = Array.make num_net_nodes (-1) in
+  let out = ref [] in
+  for level = 0 to num_levels - 1 do
+    match bufs.(level) with
+    | None -> ()
+    | Some buf ->
+      let nw = buf.n in
+      let thickness = buf.layer.Pdn.Tech.thickness in
+      (* Intern endpoints in wire order, tail before head. *)
+      let rev_local = Array.make (2 * nw) 0 in
+      let n_local = ref 0 in
+      let intern id =
+        if local.(id) < 0 then begin
+          local.(id) <- !n_local;
+          rev_local.(!n_local) <- id;
+          incr n_local
+        end;
+        local.(id)
+      in
+      for k = 0 to nw - 1 do
+        ignore (intern buf.w_a.(k));
+        ignore (intern buf.w_b.(k))
+      done;
+      let n_local = !n_local in
+      let uf = Unionfind.create n_local in
+      for k = 0 to nw - 1 do
+        ignore (Unionfind.union uf local.(buf.w_a.(k)) local.(buf.w_b.(k)))
+      done;
+      (* Stable counting sort of wires by component root: preserves the
+         ascending element order inside each component. *)
+      let root = Array.make nw 0 in
+      let count = Array.make n_local 0 in
+      for k = 0 to nw - 1 do
+        let r = Unionfind.find uf local.(buf.w_a.(k)) in
+        root.(k) <- r;
+        count.(r) <- count.(r) + 1
+      done;
+      let start = Array.make (n_local + 1) 0 in
+      for r = 0 to n_local - 1 do
+        start.(r + 1) <- start.(r) + count.(r)
+      done;
+      let order = Array.make nw 0 in
+      let fill = Array.make n_local 0 in
+      for k = 0 to nw - 1 do
+        let r = root.(k) in
+        order.(start.(r) + fill.(r)) <- k;
+        fill.(r) <- fill.(r) + 1
+      done;
+      (* Per component: dense renumbering by first appearance, then the
+         columns go straight into a [Compact.t]. [comp_node] needs no
+         per-component reset because components partition the level's
+         nodes. *)
+      let comp_node = Array.make n_local (-1) in
+      for r = 0 to n_local - 1 do
+        let m = count.(r) in
+        if m > 0 then begin
+          let base = start.(r) in
+          let tail = Array.make m 0 and head = Array.make m 0 in
+          let len = Array.make m 0. and wid = Array.make m 0. in
+          let j = Array.make m 0. in
+          let elems = Array.make m 0 in
+          let cnodes = Array.make (m + 1) 0 in
+          let nc = ref 0 in
+          let cintern li =
+            if comp_node.(li) < 0 then begin
+              comp_node.(li) <- !nc;
+              cnodes.(!nc) <- li;
+              incr nc
+            end;
+            comp_node.(li)
+          in
+          for i = 0 to m - 1 do
+            let k = order.(base + i) in
+            tail.(i) <- cintern local.(buf.w_a.(k));
+            head.(i) <- cintern local.(buf.w_b.(k));
+            len.(i) <- buf.w_len.(k);
+            wid.(i) <- buf.w_width.(k);
+            j.(i) <- buf.w_j.(k);
+            elems.(i) <- buf.w_elem.(k)
+          done;
+          let height = Array.make m thickness in
+          let compact =
+            Cc.make ~num_nodes:!nc ~tail ~head ~length:len ~width:wid ~height ~j
+          in
+          let cs_node_names =
+            Array.init !nc (fun i -> net.N.node_names.(rev_local.(cnodes.(i))))
+          in
+          out :=
+            { cs_layer_level = level; compact; cs_node_names; cs_element_ids = elems }
+            :: !out
+        end
+      done;
+      (* Reset the shared netlist-id map for the next level. *)
+      for k = 0 to nw - 1 do
+        local.(buf.w_a.(k)) <- -1;
+        local.(buf.w_b.(k)) <- -1
+      done
+  done;
+  List.rev !out
+
+let total_compact_segments structures =
+  List.fold_left (fun acc s -> acc + Cc.num_segments s.compact) 0 structures

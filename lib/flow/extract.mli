@@ -24,3 +24,24 @@ val extract : tech:Pdn.Tech.t -> Spice.Mna.solution -> em_structure list
     with fewer than two nodes are dropped. *)
 
 val total_segments : em_structure list -> int
+
+type compact_structure = {
+  cs_layer_level : int;             (** metal level the structure lives on *)
+  compact : Em_core.Compact.t;
+  cs_node_names : string array;     (** per structure node: netlist name *)
+  cs_element_ids : int array;       (** per segment: netlist element index *)
+}
+
+val extract_compact :
+  tech:Pdn.Tech.t -> Spice.Mna.solution -> compact_structure list
+(** {!extract}, but streaming resistors from the MNA solution directly
+    into columnar {!Em_core.Compact.t} structures: one interning pass
+    over flat wire buffers, a counting sort by connected component, and
+    no intermediate per-wire records or [Structure.t] boxes. Applies the
+    same filters and geometry/current formulas as {!extract} and yields
+    the same per-component node numbering and segment order (segments
+    ascending by netlist element, nodes by first appearance), so the two
+    paths produce identical segment multisets; only the order of the
+    returned list may differ. *)
+
+val total_compact_segments : compact_structure list -> int

@@ -72,6 +72,20 @@ let of_counts (c : Cl.counts) =
       ("accuracy", Float (Cl.accuracy c));
     ]
 
+let of_stage (s : Pipeline.stage) =
+  Obj
+    [
+      ("name", String s.Pipeline.name);
+      ("wall_s", Float s.Pipeline.wall_s);
+      ("cpu_s", Float s.Pipeline.cpu_s);
+      ("minor_words", Float s.Pipeline.minor_words);
+      ("major_words", Float s.Pipeline.major_words);
+      ("promoted_words", Float s.Pipeline.promoted_words);
+      ("allocated_words", Float (Pipeline.allocated_words s));
+    ]
+
+let of_stages stages = List (Stdlib.List.map of_stage stages)
+
 let of_flow_result (r : Em_flow.result) =
   Obj
     [
@@ -89,6 +103,7 @@ let of_flow_result (r : Em_flow.result) =
             ("extract", Float r.Em_flow.extract_time);
             ("em_analysis", Float r.Em_flow.analysis_time);
           ] );
+      ("stages", of_stages r.Em_flow.stages);
     ]
 
 let of_layer_stats stats =

@@ -21,6 +21,11 @@ val to_channel : out_channel -> t -> unit
 
 val of_counts : Em_core.Classify.counts -> t
 
+val of_stage : Pipeline.stage -> t
+
+val of_stages : Pipeline.stage list -> t
+(** Per-stage wall/CPU/allocation stats, execution order. *)
+
 val of_flow_result : Em_flow.result -> t
 (** Confusion matrix, structure/segment counts and timings; the
     per-segment list is summarized (it can be millions long — use

@@ -1,0 +1,60 @@
+type stage = {
+  name : string;
+  wall_s : float;
+  cpu_s : float;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+}
+
+let allocated_words st =
+  (* Words promoted out of the minor heap would otherwise be counted
+     twice: once as minor allocation, once as major. *)
+  st.minor_words +. st.major_words -. st.promoted_words
+
+type t = { mutable rev_stages : stage list }
+
+let create () = { rev_stages = [] }
+
+let run p name f =
+  (* Gc.quick_stat's words counters only refresh at GC points, so a
+     short stage would read as zero allocation; Gc.minor_words reads
+     the allocation pointer and is exact. *)
+  let minor0 = Gc.minor_words () in
+  let gc0 = Gc.quick_stat () in
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let result = f () in
+  let cpu1 = Sys.time () in
+  let wall1 = Unix.gettimeofday () in
+  let gc1 = Gc.quick_stat () in
+  let minor1 = Gc.minor_words () in
+  let stage =
+    {
+      name;
+      wall_s = wall1 -. wall0;
+      cpu_s = cpu1 -. cpu0;
+      minor_words = minor1 -. minor0;
+      major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+      promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
+    }
+  in
+  p.rev_stages <- stage :: p.rev_stages;
+  result
+
+let stages p = List.rev p.rev_stages
+
+let total_wall p = List.fold_left (fun acc s -> acc +. s.wall_s) 0. (stages p)
+
+let pp_words ppf w =
+  if w >= 1e9 then Fmt.pf ppf "%.2fGw" (w /. 1e9)
+  else if w >= 1e6 then Fmt.pf ppf "%.2fMw" (w /. 1e6)
+  else if w >= 1e3 then Fmt.pf ppf "%.1fkw" (w /. 1e3)
+  else Fmt.pf ppf "%.0fw" w
+
+let pp_stage ppf s =
+  Fmt.pf ppf "%-10s %8.3fs wall  %8.3fs cpu  %a alloc" s.name s.wall_s s.cpu_s
+    pp_words (allocated_words s)
+
+let pp ppf p =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_stage) (stages p)

@@ -1,0 +1,47 @@
+(** Instrumented pass manager for the EM flow.
+
+    A pipeline threads a computation through named stages and records,
+    per stage, wall-clock time, CPU time, and GC word counters
+    ([Gc.quick_stat] deltas). The flow driver uses it to report where a
+    run spends its time and memory (solve / extract / analyze /
+    classify) without hand-rolled timer plumbing at every call site.
+
+    Timings are observational: [run] adds two [Gc.quick_stat] calls and
+    two clock reads per stage, which is noise next to any stage worth
+    measuring. *)
+
+type stage = {
+  name : string;
+  wall_s : float;          (** elapsed wall-clock seconds *)
+  cpu_s : float;           (** processor seconds ([Sys.time]), this domain *)
+  minor_words : float;     (** words allocated in the minor heap *)
+  major_words : float;     (** words allocated in the major heap *)
+  promoted_words : float;  (** minor words that survived into the major heap *)
+}
+
+val allocated_words : stage -> float
+(** Total words freshly allocated during the stage
+    ([minor + major - promoted], the standard double-count correction). *)
+
+type t
+(** Mutable stage recorder. Not thread-safe: call {!run} from one domain
+    (stages may spawn domains internally; their allocation shows up only
+    in the spawning domain's counters). *)
+
+val create : unit -> t
+
+val run : t -> string -> (unit -> 'a) -> 'a
+(** [run p name f] executes [f ()], appends a stage named [name] with
+    the measured deltas, and returns [f]'s result. Exceptions from [f]
+    propagate without recording a stage. *)
+
+val stages : t -> stage list
+(** Stages in execution order. *)
+
+val total_wall : t -> float
+
+val pp_stage : stage Fmt.t
+(** One line: name, wall, cpu, allocated words. *)
+
+val pp : t Fmt.t
+(** All stages, one per line. *)

@@ -4,27 +4,58 @@ type t = {
   tree : Traversal.tree;
 }
 
-let of_traversal g (tree : Traversal.tree) =
-  let is_tree_edge = Array.make (Ugraph.num_edges g) false in
+type workspace = {
+  traversal : Traversal.workspace;
+  mutable w_is_tree : bool array;
+  mutable w_chords : int array;
+}
+
+let workspace () =
+  { traversal = Traversal.workspace (); w_is_tree = [||]; w_chords = [||] }
+
+let of_traversal ?ws g (tree : Traversal.tree) =
+  let m = Ugraph.num_edges g in
+  let is_tree_edge =
+    match ws with
+    | None -> Array.make m false
+    | Some ws ->
+      if Array.length ws.w_is_tree < m then begin
+        ws.w_is_tree <- Array.make m false;
+        ws.w_chords <- Array.make m 0
+      end
+      else Array.fill ws.w_is_tree 0 m false;
+      ws.w_is_tree
+  in
   Array.iter
     (fun v ->
       let e = tree.Traversal.parent_edge.(v) in
       if e >= 0 then is_tree_edge.(e) <- true)
     tree.Traversal.order;
-  let chords = ref [] in
-  for e = Ugraph.num_edges g - 1 downto 0 do
-    let { Ugraph.tail; head; _ } = Ugraph.edge g e in
+  let chord_buf =
+    match ws with Some ws -> ws.w_chords | None -> Array.make m 0
+  in
+  let num_chords = ref 0 in
+  for e = 0 to m - 1 do
     if
       (not is_tree_edge.(e))
-      && tree.Traversal.reached.(tail)
-      && tree.Traversal.reached.(head)
-    then chords := e :: !chords
+      && tree.Traversal.reached.(Ugraph.tail g e)
+      && tree.Traversal.reached.(Ugraph.head g e)
+    then begin
+      chord_buf.(!num_chords) <- e;
+      incr num_chords
+    end
   done;
-  { is_tree_edge; chords = Array.of_list !chords; tree }
+  { is_tree_edge; chords = Array.sub chord_buf 0 !num_chords; tree }
 
-let of_bfs g ~root = of_traversal g (Traversal.bfs g ~root)
+let of_bfs ?ws g ~root =
+  match ws with
+  | None -> of_traversal g (Traversal.bfs g ~root)
+  | Some ws -> of_traversal ~ws g (Traversal.bfs ~ws:ws.traversal g ~root)
 
-let of_dfs g ~root = of_traversal g (Traversal.dfs g ~root)
+let of_dfs ?ws g ~root =
+  match ws with
+  | None -> of_traversal g (Traversal.dfs g ~root)
+  | Some ws -> of_traversal ~ws g (Traversal.dfs ~ws:ws.traversal g ~root)
 
 let num_independent_cycles g ~root =
   let t = of_bfs g ~root in

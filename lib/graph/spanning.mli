@@ -11,11 +11,21 @@ type t = {
   tree : Traversal.tree;     (** traversal that discovered the tree *)
 }
 
-val of_bfs : _ Ugraph.t -> root:int -> t
-(** Spanning tree of the component of [root] via BFS. Edges outside that
-    component are neither tree edges nor chords. *)
+type workspace
+(** Scratch buffers (a {!Traversal.workspace} plus tree-edge flags and a
+    chord buffer) for repeated spanning-tree extraction. *)
 
-val of_dfs : _ Ugraph.t -> root:int -> t
+val workspace : unit -> workspace
+
+val of_bfs : ?ws:workspace -> _ Ugraph.t -> root:int -> t
+(** Spanning tree of the component of [root] via BFS. Edges outside that
+    component are neither tree edges nor chords. With [?ws], the result's
+    [is_tree_edge] and [tree] arrays alias workspace buffers (possibly
+    longer than the edge/node counts) and are overwritten by the next
+    call through the same workspace; [chords] is always fresh and
+    exact-length. *)
+
+val of_dfs : ?ws:workspace -> _ Ugraph.t -> root:int -> t
 
 val num_independent_cycles : _ Ugraph.t -> root:int -> int
 (** Cycle-space dimension of the component of [root]:

@@ -13,10 +13,23 @@ type tree = {
   reached : bool array;
 }
 
-val bfs : _ Ugraph.t -> root:int -> tree
+type workspace
+(** Reusable scratch buffers (parent/order/flag arrays and an int-array
+    queue) for repeated traversals, so a caller visiting many structures
+    allocates per-traversal memory only when the node count grows. *)
 
-val dfs : _ Ugraph.t -> root:int -> tree
-(** Iterative preorder DFS (no stack-overflow on long paths). *)
+val workspace : unit -> workspace
+(** An empty workspace; buffers grow on first use and are kept. *)
+
+val bfs : ?ws:workspace -> _ Ugraph.t -> root:int -> tree
+(** With [?ws], the returned tree's arrays alias the workspace buffers
+    (which may be longer than [num_nodes]; indexing by node stays valid)
+    and are overwritten by the next traversal through the same
+    workspace. *)
+
+val dfs : ?ws:workspace -> _ Ugraph.t -> root:int -> tree
+(** Iterative preorder DFS (no stack-overflow on long paths). Same
+    [?ws] aliasing contract as {!bfs}. *)
 
 val component_of : _ Ugraph.t -> root:int -> int list
 (** Nodes reachable from [root], ascending. *)

@@ -1,90 +1,138 @@
 type edge = { id : int; tail : int; head : int }
 
+(* Columnar layout: endpoints live in two flat int arrays and the
+   adjacency is CSR ([offsets]/[adj_nbr]/[adj_edge]), so traversals touch
+   contiguous memory and [iter_incident] allocates nothing. The [edge]
+   record is materialized on demand for API compatibility. *)
 type 'a t = {
   num_nodes : int;
-  edge_ends : edge array;
+  tails : int array;
+  heads : int array;
   attrs : 'a array;
-  adj : (int * int) array array; (* per node: (edge_id, neighbor) *)
+  offsets : int array;  (* length num_nodes + 1 *)
+  adj_edge : int array; (* length 2m, edge id per incidence slot *)
+  adj_nbr : int array;  (* length 2m, neighbor per incidence slot *)
 }
 
 let create ~num_nodes raw_edges =
   if num_nodes < 0 then invalid_arg "Ugraph.create: negative node count";
   let m = Array.length raw_edges in
-  let edge_ends =
-    Array.mapi
-      (fun id (u, v, _) ->
-        if u < 0 || u >= num_nodes || v < 0 || v >= num_nodes then
-          invalid_arg
-            (Printf.sprintf "Ugraph.create: edge %d endpoint out of range" id);
-        if u = v then
-          invalid_arg (Printf.sprintf "Ugraph.create: edge %d is a self-loop" id);
-        { id; tail = u; head = v })
-      raw_edges
-  in
+  let tails = Array.make m 0 and heads = Array.make m 0 in
+  Array.iteri
+    (fun id (u, v, _) ->
+      if u < 0 || u >= num_nodes || v < 0 || v >= num_nodes then
+        invalid_arg
+          (Printf.sprintf "Ugraph.create: edge %d endpoint out of range" id);
+      if u = v then
+        invalid_arg (Printf.sprintf "Ugraph.create: edge %d is a self-loop" id);
+      tails.(id) <- u;
+      heads.(id) <- v)
+    raw_edges;
   let attrs = Array.map (fun (_, _, a) -> a) raw_edges in
-  let deg = Array.make num_nodes 0 in
+  (* CSR build: count degrees, prefix-sum, then fill in edge-id order so
+     each node's incidence list ascends by edge id (tail slot first). *)
+  let offsets = Array.make (num_nodes + 1) 0 in
   for e = 0 to m - 1 do
-    deg.(edge_ends.(e).tail) <- deg.(edge_ends.(e).tail) + 1;
-    deg.(edge_ends.(e).head) <- deg.(edge_ends.(e).head) + 1
+    offsets.(tails.(e) + 1) <- offsets.(tails.(e) + 1) + 1;
+    offsets.(heads.(e) + 1) <- offsets.(heads.(e) + 1) + 1
   done;
-  let adj = Array.init num_nodes (fun v -> Array.make deg.(v) (0, 0)) in
+  for v = 1 to num_nodes do
+    offsets.(v) <- offsets.(v) + offsets.(v - 1)
+  done;
+  let adj_edge = Array.make (2 * m) 0 and adj_nbr = Array.make (2 * m) 0 in
   let fill = Array.make num_nodes 0 in
   for e = 0 to m - 1 do
-    let { tail; head; _ } = edge_ends.(e) in
-    adj.(tail).(fill.(tail)) <- (e, head);
-    fill.(tail) <- fill.(tail) + 1;
-    adj.(head).(fill.(head)) <- (e, tail);
-    fill.(head) <- fill.(head) + 1
+    let u = tails.(e) and v = heads.(e) in
+    let su = offsets.(u) + fill.(u) in
+    adj_edge.(su) <- e;
+    adj_nbr.(su) <- v;
+    fill.(u) <- fill.(u) + 1;
+    let sv = offsets.(v) + fill.(v) in
+    adj_edge.(sv) <- e;
+    adj_nbr.(sv) <- u;
+    fill.(v) <- fill.(v) + 1
   done;
-  { num_nodes; edge_ends; attrs; adj }
+  { num_nodes; tails; heads; attrs; offsets; adj_edge; adj_nbr }
 
 let num_nodes g = g.num_nodes
 
-let num_edges g = Array.length g.edge_ends
+let num_edges g = Array.length g.tails
+
+let check_edge_id g id name =
+  if id < 0 || id >= num_edges g then invalid_arg name
 
 let edge g id =
-  if id < 0 || id >= num_edges g then invalid_arg "Ugraph.edge: bad id";
-  g.edge_ends.(id)
+  check_edge_id g id "Ugraph.edge: bad id";
+  { id; tail = g.tails.(id); head = g.heads.(id) }
+
+let tail g id =
+  check_edge_id g id "Ugraph.tail: bad id";
+  g.tails.(id)
+
+let head g id =
+  check_edge_id g id "Ugraph.head: bad id";
+  g.heads.(id)
 
 let attr g id =
-  if id < 0 || id >= num_edges g then invalid_arg "Ugraph.attr: bad id";
+  check_edge_id g id "Ugraph.attr: bad id";
   g.attrs.(id)
 
-let edges g = Array.init (num_edges g) (fun id -> (g.edge_ends.(id), g.attrs.(id)))
+let edges g =
+  Array.init (num_edges g) (fun id ->
+      ({ id; tail = g.tails.(id); head = g.heads.(id) }, g.attrs.(id)))
 
 let map_attr f g = { g with attrs = Array.map f g.attrs }
 
 let mapi_attr f g =
-  { g with attrs = Array.mapi (fun id a -> f g.edge_ends.(id) a) g.attrs }
+  { g with
+    attrs =
+      Array.mapi
+        (fun id a -> f { id; tail = g.tails.(id); head = g.heads.(id) } a)
+        g.attrs }
 
 let other_endpoint g ~edge_id v =
-  let e = edge g edge_id in
-  if e.tail = v then e.head
-  else if e.head = v then e.tail
+  check_edge_id g edge_id "Ugraph.other_endpoint: bad id";
+  let t = g.tails.(edge_id) and h = g.heads.(edge_id) in
+  if t = v then h
+  else if h = v then t
   else invalid_arg "Ugraph.other_endpoint: node not an endpoint"
 
+let check_node g v name = if v < 0 || v >= g.num_nodes then invalid_arg name
+
 let degree g v =
-  if v < 0 || v >= g.num_nodes then invalid_arg "Ugraph.degree: bad node";
-  Array.length g.adj.(v)
+  check_node g v "Ugraph.degree: bad node";
+  g.offsets.(v + 1) - g.offsets.(v)
 
 let incident g v =
-  if v < 0 || v >= g.num_nodes then invalid_arg "Ugraph.incident: bad node";
-  g.adj.(v)
+  check_node g v "Ugraph.incident: bad node";
+  let lo = g.offsets.(v) in
+  Array.init (g.offsets.(v + 1) - lo) (fun k ->
+      (g.adj_edge.(lo + k), g.adj_nbr.(lo + k)))
 
 let iter_incident g v f =
-  Array.iter (fun (edge_id, neighbor) -> f ~edge_id ~neighbor) (incident g v)
+  check_node g v "Ugraph.iter_incident: bad node";
+  for k = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    f ~edge_id:g.adj_edge.(k) ~neighbor:g.adj_nbr.(k)
+  done
+
+let csr_offsets g = g.offsets
+
+let csr_edges g = g.adj_edge
+
+let csr_neighbors g = g.adj_nbr
 
 let fold_edges f g init =
   let acc = ref init in
   for id = 0 to num_edges g - 1 do
-    acc := f g.edge_ends.(id) g.attrs.(id) !acc
+    acc :=
+      f { id; tail = g.tails.(id); head = g.heads.(id) } g.attrs.(id) !acc
   done;
   !acc
 
 let termini g =
   let out = ref [] in
   for v = g.num_nodes - 1 downto 0 do
-    if Array.length g.adj.(v) = 1 then out := v :: !out
+    if g.offsets.(v + 1) - g.offsets.(v) = 1 then out := v :: !out
   done;
   !out
 
@@ -92,28 +140,30 @@ let is_connected g =
   if g.num_nodes <= 1 then true
   else begin
     let seen = Array.make g.num_nodes false in
-    let queue = Queue.create () in
-    Queue.add 0 queue;
+    let queue = Array.make g.num_nodes 0 in
+    let qhead = ref 0 and qtail = ref 0 in
+    queue.(0) <- 0;
+    incr qtail;
     seen.(0) <- true;
-    let visited = ref 1 in
-    while not (Queue.is_empty queue) do
-      let v = Queue.pop queue in
-      Array.iter
-        (fun (_, u) ->
-          if not seen.(u) then begin
-            seen.(u) <- true;
-            incr visited;
-            Queue.add u queue
-          end)
-        g.adj.(v)
+    while !qhead < !qtail do
+      let v = queue.(!qhead) in
+      incr qhead;
+      for k = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+        let u = g.adj_nbr.(k) in
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          queue.(!qtail) <- u;
+          incr qtail
+        end
+      done
     done;
-    !visited = g.num_nodes
+    !qtail = g.num_nodes
   end
 
 let pp pp_attr ppf g =
   Format.fprintf ppf "@[<v>graph: %d nodes, %d edges" g.num_nodes (num_edges g);
-  Array.iteri
-    (fun id { tail; head; _ } ->
-      Format.fprintf ppf "@,  e%d: %d -> %d  %a" id tail head pp_attr g.attrs.(id))
-    g.edge_ends;
+  for id = 0 to num_edges g - 1 do
+    Format.fprintf ppf "@,  e%d: %d -> %d  %a" id g.tails.(id) g.heads.(id)
+      pp_attr g.attrs.(id)
+  done;
   Format.fprintf ppf "@]"

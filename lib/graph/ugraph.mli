@@ -7,7 +7,10 @@
     self-loops are rejected since a zero-length wire loop is meaningless.
 
     The structure is immutable after construction; adjacency is
-    precomputed so traversals are O(|V| + |E|). *)
+    precomputed into a CSR (compressed sparse row) layout —
+    [offsets]/[neighbors]/[edge_ids] flat int arrays — so traversals are
+    O(|V| + |E|), touch contiguous memory, and {!iter_incident} allocates
+    nothing. *)
 
 type 'a t
 
@@ -27,6 +30,14 @@ val num_nodes : _ t -> int
 val num_edges : _ t -> int
 
 val edge : _ t -> int -> edge
+(** Materializes the edge record on demand (the endpoints live in flat
+    arrays); hot paths should prefer {!tail}/{!head}. *)
+
+val tail : _ t -> int -> int
+(** Reference-direction source node of an edge, without boxing. *)
+
+val head : _ t -> int -> int
+(** Reference-direction target node of an edge, without boxing. *)
 
 val attr : 'a t -> int -> 'a
 
@@ -45,9 +56,29 @@ val degree : _ t -> int -> int
 
 val incident : _ t -> int -> (int * int) array
 (** [incident g v] lists [(edge_id, neighbor)] pairs for [v], in edge-id
-    order. The returned array is shared: do not mutate. *)
+    order. The array is built fresh from the CSR adjacency on each call;
+    prefer {!iter_incident} on hot paths. *)
 
 val iter_incident : _ t -> int -> (edge_id:int -> neighbor:int -> unit) -> unit
+(** Allocation-free iteration over the CSR incidence range of [v], in
+    edge-id order. *)
+
+(** {1 Raw CSR access}
+
+    The internal adjacency arrays, exposed so columnar consumers (e.g.
+    [Em_core.Compact]) can share them without copying. All three are the
+    graph's own storage: treat as read-only. Incidence slot [k] for
+    [offsets.(v) <= k < offsets.(v+1)] holds edge [csr_edges.(k)] towards
+    neighbor [csr_neighbors.(k)]. *)
+
+val csr_offsets : _ t -> int array
+(** Length [num_nodes + 1]. *)
+
+val csr_edges : _ t -> int array
+(** Length [2 * num_edges]. *)
+
+val csr_neighbors : _ t -> int array
+(** Length [2 * num_edges]. *)
 
 val fold_edges : (edge -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
 

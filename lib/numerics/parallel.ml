@@ -41,4 +41,48 @@ let map ?jobs f xs =
       out
   end
 
+let map_local ?jobs ~local f xs =
+  let n = Array.length xs in
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Parallel.map_local: jobs < 1"
+    | Some j -> min j n
+    | None -> min (recommended_jobs ()) n
+  in
+  if n = 0 then [||]
+  else if jobs <= 1 then begin
+    let state = local () in
+    Array.map (f state) xs
+  end
+  else begin
+    let out = Array.make n None in
+    let failure = Atomic.make None in
+    let chunk w =
+      let base = n / jobs and extra = n mod jobs in
+      let lo = (w * base) + min w extra in
+      let len = base + if w < extra then 1 else 0 in
+      (lo, len)
+    in
+    let worker w () =
+      let lo, len = chunk w in
+      try
+        (* One state per worker domain, created inside the domain so any
+           mutable buffers it holds are never shared. *)
+        let state = local () in
+        for i = lo to lo + len - 1 do
+          out.(i) <- Some (f state xs.(i))
+        done
+      with e -> Atomic.compare_and_set failure None (Some e) |> ignore
+    in
+    let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some e -> raise e
+    | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* every slot written *))
+      out
+  end
+
 let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))

@@ -14,4 +14,11 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     calling domain. Exceptions raised by [f] are re-raised in the caller
     after all domains have joined. *)
 
+val map_local : ?jobs:int -> local:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!map}, but each worker domain first creates its own local state
+    with [local ()] and threads it through every call it makes — the way
+    to give each domain a private scratch workspace (e.g. a
+    [Steady_state.Workspace.t]) without any sharing or locking. With
+    [jobs <= 1] a single state is created in the calling domain. *)
+
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -631,6 +631,95 @@ let prop_zero_current_zero_stress (n, seed) =
   let sol = Ss.solve cu s0 in
   Array.for_all (fun v -> Float.abs v < 1e-9) sol.Ss.node_stress
 
+(* ---------------------------------------------------------------- *)
+(* Columnar (Compact) path                                           *)
+
+module Cc = Em_core.Compact
+
+(* One workspace shared across every columnar test: qcheck feeds it
+   structures of many different sizes, exercising the grow/reuse paths. *)
+let compact_ws = Ss.Workspace.create ()
+
+let compact_agrees s =
+  let sol = Ss.solve cu s in
+  let c = Cc.of_structure s in
+  let csol = Ss.solve_compact ~ws:compact_ws cu c in
+  let rel a b = Float.abs (a -. b) <= 1e-9 *. (Float.abs a +. Float.abs b +. 1e-30) in
+  Array.for_all2
+    (fun x y -> Float.abs (x -. y) <= 1e-9 *. (Float.abs x +. 1e3))
+    sol.Ss.node_stress csol.Ss.node_stress
+  && rel sol.Ss.q csol.Ss.q
+  && rel sol.Ss.volume csol.Ss.volume
+  && sol.Ss.reference = csol.Ss.reference
+  && Float.abs (Ss.mass_residual csol s) < 1e-9
+
+let prop_compact_matches_solve (n, seed) = compact_agrees (make_tree (n, seed))
+
+let prop_compact_reference_invariance (n, seed) =
+  let s = make_tree (n, seed) in
+  let c = Cc.of_structure s in
+  (* The first solution aliases the workspace buffers: copy before the
+     second solve overwrites them. *)
+  let a =
+    Array.copy (Ss.solve_compact ~reference:0 ~ws:compact_ws cu c).Ss.node_stress
+  in
+  let b =
+    (Ss.solve_compact ~reference:(Cc.num_nodes c - 1) ~ws:compact_ws cu c)
+      .Ss.node_stress
+  in
+  Array.for_all2 (fun x y -> Float.abs (x -. y) <= 1e-6 *. (Float.abs x +. 1e3)) a b
+
+let test_compact_mesh () =
+  let s = consistent_mesh () in
+  Alcotest.(check bool) "columnar matches boxed on a mesh" true (compact_agrees s);
+  let c = Cc.of_structure s in
+  check_close ~rtol:1e-12 "volume" (St.volume s) (Cc.volume c);
+  check_close ~rtol:1e-12 "total length" (St.total_length s) (Cc.total_length c);
+  Alcotest.(check bool) "connected" true (Cc.is_connected c)
+
+let test_compact_roundtrip () =
+  let s = make_tree (23, 5) in
+  let c = Cc.of_structure s in
+  let s' = Cc.to_structure c in
+  Alcotest.(check int) "nodes" (St.num_nodes s) (St.num_nodes s');
+  Alcotest.(check int) "segments" (St.num_segments s) (St.num_segments s');
+  for k = 0 to St.num_segments s - 1 do
+    Alcotest.(check (pair int int))
+      "endpoints" (St.endpoints s k) (St.endpoints s' k);
+    let a = St.seg s k and b = St.seg s' k in
+    Alcotest.(check bool) "segment bits" true
+      (a.St.length = b.St.length && a.St.width = b.St.width
+      && a.St.height = b.St.height
+      && a.St.current_density = b.St.current_density)
+  done;
+  (* And the exact solver agrees bit for bit through the roundtrip. *)
+  let sol = Ss.solve cu s and sol' = Ss.solve cu s' in
+  Alcotest.(check bool) "stresses identical" true
+    (sol.Ss.node_stress = sol'.Ss.node_stress)
+
+let test_compact_guards () =
+  let c = Cc.of_structure (make_tree (8, 3)) in
+  check_raises_invalid "reference out of range" (fun () ->
+      ignore (Ss.solve_compact ~reference:99 cu c));
+  let uniform v = Array.make 2 v in
+  let disconnected =
+    Cc.make ~num_nodes:4 ~tail:[| 0; 2 |] ~head:[| 1; 3 |]
+      ~length:(uniform (U.um 10.)) ~width:(uniform (U.um 1.))
+      ~height:(uniform 2e-7) ~j:(uniform 1e10)
+  in
+  Alcotest.(check bool) "disconnected detected" false
+    (Cc.is_connected disconnected);
+  check_raises_invalid "solve_compact on disconnected" (fun () ->
+      ignore (Ss.solve_compact cu disconnected));
+  check_raises_invalid "self loop" (fun () ->
+      ignore
+        (Cc.make ~num_nodes:2 ~tail:[| 0 |] ~head:[| 0 |] ~length:[| 1e-6 |]
+           ~width:[| 1e-6 |] ~height:[| 2e-7 |] ~j:[| 0. |]));
+  check_raises_invalid "bad geometry" (fun () ->
+      ignore
+        (Cc.make ~num_nodes:2 ~tail:[| 0 |] ~head:[| 1 |] ~length:[| 0. |]
+           ~width:[| 1e-6 |] ~height:[| 2e-7 |] ~j:[| 0. |]))
+
 
 (* ---------------------------------------------------------------- *)
 (* Sensitivity                                                       *)
@@ -993,6 +1082,15 @@ let suites =
         case "mesh directional derivative" test_sensitivity_gradient_mesh;
         case "most influential segments" test_sensitivity_most_influential;
         case "guards" test_sensitivity_guards;
+      ] );
+    ( "core.compact",
+      [
+        case "roundtrip is lossless" test_compact_roundtrip;
+        case "mesh agrees with boxed solver" test_compact_mesh;
+        case "guards" test_compact_guards;
+        qcheck "columnar solve matches boxed" tree_gen prop_compact_matches_solve;
+        qcheck "columnar reference invariance" tree_gen
+          prop_compact_reference_invariance;
       ] );
     ( "core.properties",
       [

@@ -97,6 +97,84 @@ let test_extract_current_matches_mna () =
   Alcotest.(check int) "checked every wire" g.Gg.num_wires !checked
 
 (* ---------------------------------------------------------------- *)
+(* Streaming columnar extraction                                     *)
+
+module Cc = Em_core.Compact
+
+(* Canonical per-segment view, independent of structure order and local
+   node numbering: identify nodes by their netlist names. *)
+let segment_multiset_old structures =
+  List.concat_map
+    (fun es ->
+      let s = es.Ex.structure in
+      List.init (St.num_segments s) (fun k ->
+          let tail, head = St.endpoints s k in
+          let seg = St.seg s k in
+          ( es.Ex.layer_level,
+            es.Ex.element_ids.(k),
+            es.Ex.node_names.(tail),
+            es.Ex.node_names.(head),
+            (seg.St.length, seg.St.width, seg.St.height, seg.St.current_density)
+          )))
+    structures
+  |> List.sort compare
+
+let segment_multiset_compact css =
+  List.concat_map
+    (fun cs ->
+      let c = cs.Ex.compact in
+      List.init (Cc.num_segments c) (fun k ->
+          ( cs.Ex.cs_layer_level,
+            cs.Ex.cs_element_ids.(k),
+            cs.Ex.cs_node_names.(c.Cc.tail.(k)),
+            cs.Ex.cs_node_names.(c.Cc.head.(k)),
+            (c.Cc.length.(k), c.Cc.width.(k), c.Cc.height.(k), c.Cc.j.(k)) )))
+    css
+  |> List.sort compare
+
+let check_extraction_equivalence ~tech sol =
+  let old_ms = segment_multiset_old (Ex.extract ~tech sol) in
+  let new_ms = segment_multiset_compact (Ex.extract_compact ~tech sol) in
+  Alcotest.(check int) "same segment count" (List.length old_ms)
+    (List.length new_ms);
+  Alcotest.(check bool) "identical segment multisets" true (old_ms = new_ms)
+
+let test_extract_compact_equivalent () =
+  let g = small_grid () in
+  let sol = Spice.Mna.solve g.Gg.netlist in
+  check_extraction_equivalence ~tech:g.Gg.tech sol;
+  (* The flow produces identical confusion counts through both paths. *)
+  let r_old = Flow.run_on_structures (Ex.extract ~tech:g.Gg.tech sol) in
+  let r_new = Flow.run_on_compact (Ex.extract_compact ~tech:g.Gg.tech sol) in
+  Alcotest.(check bool) "identical confusion counts" true
+    (r_old.Flow.counts = r_new.Flow.counts);
+  Alcotest.(check int) "identical segment totals" r_old.Flow.num_segments
+    r_new.Flow.num_segments
+
+let test_extract_compact_mini_grid () =
+  let path = "../../../data/mini_grid.sp" in
+  let path = if Sys.file_exists path then path else "data/mini_grid.sp" in
+  if not (Sys.file_exists path) then Alcotest.skip ()
+  else begin
+    let netlist = Spice.Parser.parse_file path in
+    let sol = Spice.Mna.solve ~tol:1e-12 netlist in
+    check_extraction_equivalence ~tech:Pdn.Tech.ibm_like sol
+  end
+
+let test_flow_stages_recorded () =
+  let g = small_grid () in
+  let r = Flow.run g in
+  let names = List.map (fun (s : Emflow.Pipeline.stage) -> s.Emflow.Pipeline.name) r.Flow.stages in
+  Alcotest.(check (list string)) "stages in execution order"
+    [ "solve"; "extract"; "analyze"; "classify" ] names;
+  List.iter
+    (fun (s : Emflow.Pipeline.stage) ->
+      Alcotest.(check bool) "nonnegative wall" true (s.Emflow.Pipeline.wall_s >= 0.);
+      Alcotest.(check bool) "nonnegative alloc" true
+        (Emflow.Pipeline.allocated_words s >= 0.))
+    r.Flow.stages
+
+(* ---------------------------------------------------------------- *)
 (* Em_flow                                                           *)
 
 let test_flow_counts_sum () =
@@ -761,6 +839,8 @@ let suites =
           test_extract_structures_are_connected_and_consistent;
         case "geometry from tech" test_extract_geometry_matches_tech;
         case "currents match MNA branches" test_extract_current_matches_mna;
+        case "streaming columnar path equivalent" test_extract_compact_equivalent;
+        case "columnar path on sample deck" test_extract_compact_mini_grid;
       ] );
     ( "flow.em_flow",
       [
@@ -769,6 +849,7 @@ let suites =
         case "blech errs after IR scaling" test_flow_blech_disagrees_after_ir_scaling;
         case "zero current => all immortal" test_flow_zero_current_all_immortal;
         case "parallel matches sequential" test_flow_parallel_matches_sequential;
+        case "pipeline stages recorded" test_flow_stages_recorded;
       ] );
     ( "flow.scatter",
       [

@@ -107,6 +107,67 @@ let test_dfs_long_path_no_overflow () =
   let t = Traversal.dfs g ~root:0 in
   Alcotest.(check int) "all reached" n (Array.length t.Traversal.order)
 
+let test_csr_matches_incident () =
+  let g = sample () in
+  let offsets = Ugraph.csr_offsets g in
+  Alcotest.(check int) "offsets length" (Ugraph.num_nodes g + 1)
+    (Array.length offsets);
+  Alcotest.(check int) "2m slots" (2 * Ugraph.num_edges g)
+    offsets.(Ugraph.num_nodes g);
+  for v = 0 to Ugraph.num_nodes g - 1 do
+    (* iter_incident walks the CSR row; it must agree with the boxed
+       incident list, in the same order. *)
+    let via_iter = ref [] in
+    Ugraph.iter_incident g v (fun ~edge_id ~neighbor ->
+        via_iter := (edge_id, neighbor) :: !via_iter);
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "incident %d" v)
+      (Array.to_list (Ugraph.incident g v))
+      (List.rev !via_iter)
+  done
+
+let same_tree (a : Traversal.tree) (b : Traversal.tree) n =
+  Alcotest.(check int) "root" a.Traversal.root b.Traversal.root;
+  Alcotest.(check (list int)) "order"
+    (Array.to_list a.Traversal.order)
+    (Array.to_list b.Traversal.order);
+  for v = 0 to n - 1 do
+    Alcotest.(check int) "parent node" a.Traversal.parent_node.(v)
+      b.Traversal.parent_node.(v);
+    Alcotest.(check int) "parent edge" a.Traversal.parent_edge.(v)
+      b.Traversal.parent_edge.(v);
+    Alcotest.(check bool) "reached" a.Traversal.reached.(v) b.Traversal.reached.(v)
+  done
+
+let test_workspace_traversals_match () =
+  let g = sample () in
+  let n = Ugraph.num_nodes g in
+  let ws = Traversal.workspace () in
+  (* Repeat from several roots through one workspace: results must match
+     the allocating path every time (the workspace is dirty after the
+     first call, exercising the reset). *)
+  List.iter
+    (fun root ->
+      same_tree (Traversal.bfs g ~root) (Traversal.bfs ~ws g ~root) n;
+      same_tree (Traversal.dfs g ~root) (Traversal.dfs ~ws g ~root) n)
+    [ 0; 1; 5; 4 ]
+
+let test_workspace_spanning_matches () =
+  let g = sample () in
+  let ws = Spanning.workspace () in
+  List.iter
+    (fun root ->
+      let plain = Spanning.of_bfs g ~root in
+      let reused = Spanning.of_bfs ~ws g ~root in
+      Alcotest.(check (list int)) "chords"
+        (Array.to_list plain.Spanning.chords)
+        (Array.to_list reused.Spanning.chords);
+      for e = 0 to Ugraph.num_edges g - 1 do
+        Alcotest.(check bool) "tree flag" plain.Spanning.is_tree_edge.(e)
+          reused.Spanning.is_tree_edge.(e)
+      done)
+    [ 0; 3; 5 ]
+
 (* ---------------------------------------------------------------- *)
 (* Spanning                                                          *)
 
@@ -177,6 +238,7 @@ let suites =
         case "parallel edges" test_parallel_edges_allowed;
         case "map_attr / mapi_attr" test_map_attr;
         case "is_connected" test_is_connected;
+        case "CSR adjacency matches incident" test_csr_matches_incident;
       ] );
     ( "graph.traversal",
       [
@@ -185,12 +247,16 @@ let suites =
         case "fold_tree_edges prefix property" test_fold_tree_edges_prefix;
         case "component_of" test_component_of;
         case "dfs long path (no overflow)" test_dfs_long_path_no_overflow;
+        case "workspace reuse matches allocating path"
+          test_workspace_traversals_match;
       ] );
     ( "graph.spanning",
       [
         case "tree edge / chord counts" test_spanning_tree_counts;
         case "acyclic graph has no chords" test_spanning_tree_acyclic_graph;
         case "chords are not tree edges" test_spanning_chord_not_tree_edge;
+        case "workspace reuse matches allocating path"
+          test_workspace_spanning_matches;
       ] );
     ( "graph.components",
       [
