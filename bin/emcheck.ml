@@ -55,20 +55,71 @@ let material_of ~sigma_t ~temperature =
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
 
-let analyze_netlist path tech sigma_t temperature with_maxpath top fix json_path html_path =
+module Dg = Em_core.Diag
+
+let diag_of_parse_error (e : Spice.Parser.line_error) =
+  Dg.error
+    ~source:(Dg.Netlist_line e.Spice.Parser.line)
+    ~code:"parse-error" e.Spice.Parser.message
+
+let diag_of_finding (f : Spice.Checker.finding) =
+  let severity =
+    match f.Spice.Checker.severity with
+    | Spice.Checker.Warning -> Dg.Warning
+    | Spice.Checker.Error -> Dg.Error
+  in
+  Dg.make severity ~code:f.Spice.Checker.code f.Spice.Checker.message
+
+(* Exit-code policy: 0 = clean (or warnings only, without [--strict]);
+   1 = error diagnostics present, or warnings under [--strict]. Fatal
+   problems (strict-mode parse failure, exhausted error budget,
+   unsupported netlist) surface as cmdliner errors instead. *)
+let exit_code_of_diags ~strict diags =
+  if Dg.count_errors diags > 0 then 1
+  else if strict && Dg.count_warnings diags > 0 then 1
+  else 0
+
+let analyze_netlist path tech sigma_t temperature with_maxpath top fix
+    json_path html_path keep_going strict max_errors =
   let material = material_of ~sigma_t ~temperature in
-  let netlist = Spice.Parser.parse_file path in
+  let netlist, parse_diags =
+    if keep_going then begin
+      let netlist, errs = Spice.Parser.parse_file_tolerant ~max_errors path in
+      List.iter
+        (fun (e : Spice.Parser.line_error) ->
+          Printf.printf "%s:%d: skipped: %s\n" path e.Spice.Parser.line
+            e.Spice.Parser.message)
+        errs;
+      (netlist, List.map diag_of_parse_error errs)
+    end
+    else (Spice.Parser.parse_file path, [])
+  in
   Format.printf "%a@." Spice.Netlist.pp_stats netlist;
   let findings = Spice.Checker.check netlist in
   List.iter (fun f -> Format.printf "%a@." Spice.Checker.pp_finding f) findings;
-  if Spice.Checker.errors findings <> [] then
-    failwith "netlist fails lint; aborting";
+  let lint_diags = List.map diag_of_finding findings in
+  if (not keep_going) && Spice.Checker.errors findings <> [] then
+    failwith "netlist fails lint; aborting (use --keep-going to continue)";
   let sol = Spice.Mna.solve netlist in
   Format.printf "DC solve: %d CG iterations, residual %.2e@."
     sol.Spice.Mna.cg_iterations sol.Spice.Mna.residual;
   let structures = Emflow.Extract.extract ~tech sol in
   let r = Flow.run_on_structures ~material ~with_maxpath structures in
   Format.printf "%a@.@." Flow.pp_summary r;
+  (* Ancillary reports run on the healthy subset: a structure the flow
+     skipped (degenerate geometry, solver failure) would throw again in
+     the per-structure solves below. *)
+  let failed_indices =
+    List.filter_map
+      (fun (d : Dg.t) ->
+        match d.Dg.source with
+        | Dg.Structure { index; _ } when d.Dg.severity = Dg.Error -> Some index
+        | _ -> None)
+      r.Flow.diags
+  in
+  let structures =
+    List.filteri (fun i _ -> not (List.mem i failed_indices)) structures
+  in
   Printf.printf "Per-layer breakdown:\n";
   Emflow.Report.print
     (Emflow.Layer_report.to_table (Emflow.Layer_report.analyze ~material structures));
@@ -107,6 +158,21 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix json_path
     ranked;
   Printf.printf "Most endangered structures:\n";
   Rp.print table;
+  let blech_diags =
+    if r.Flow.counts.Cl.fp > 0 then begin
+      Printf.printf
+        "WARNING: the traditional Blech filter would clear %d mortal segments.\n"
+        r.Flow.counts.Cl.fp;
+      [
+        Dg.warning ~code:"blech-false-positive"
+          (Printf.sprintf
+             "the traditional Blech filter would clear %d mortal segments"
+             r.Flow.counts.Cl.fp);
+      ]
+    end
+    else []
+  in
+  let diags = parse_diags @ lint_diags @ r.Flow.diags @ blech_diags in
   (match html_path with
   | None -> ()
   | Some out ->
@@ -123,6 +189,7 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix json_path
       Emflow.Json_out.Obj
         [
           ("netlist", Emflow.Json_out.String path);
+          ("diagnostics", Emflow.Json_out.of_diags diags);
           ("flow", Emflow.Json_out.of_flow_result r);
           ("layers", Emflow.Json_out.of_layer_stats layers);
           ("fix_plan", Emflow.Json_out.of_fixer_plan plan);
@@ -133,13 +200,11 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix json_path
       ~finally:(fun () -> close_out_noerr oc)
       (fun () -> Emflow.Json_out.to_channel oc doc);
     Printf.printf "JSON report written to %s\n" out);
-  if r.Flow.counts.Cl.fp > 0 then begin
-    Printf.printf
-      "WARNING: the traditional Blech filter would clear %d mortal segments.\n"
-      r.Flow.counts.Cl.fp;
-    `Ok 1
-  end
-  else `Ok 0
+  if diags <> [] then begin
+    Format.printf "Diagnostics (%a):@." Dg.pp_summary diags;
+    List.iter (fun d -> Format.printf "  %a@." Dg.pp d) diags
+  end;
+  `Ok (exit_code_of_diags ~strict diags)
 
 let analyze_cmd =
   let path =
@@ -179,13 +244,42 @@ let analyze_cmd =
       & info [ "html" ] ~docv:"FILE"
           ~doc:"Write a self-contained HTML report (tables + SVG scatter).")
   in
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "k"; "keep-going" ]
+          ~doc:
+            "Recovery mode: skip malformed netlist lines (recording each as \
+             a diagnostic, up to $(b,--max-errors)) and continue past lint \
+             errors instead of aborting. The exit code still reports the \
+             collected errors.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Treat warnings as errors for the exit code: exit non-zero when \
+             any diagnostic (including lint warnings and Blech \
+             false-positive warnings) was emitted.")
+  in
+  let max_errors =
+    Arg.(
+      value
+      & opt int Spice.Parser.default_max_errors
+      & info [ "max-errors" ] ~docv:"N"
+          ~doc:
+            "With $(b,--keep-going): give up (fatal error) after more than \
+             $(docv) malformed netlist lines.")
+  in
   let term =
     Term.(
       ret
-        (const (fun path tech sigma_t temperature with_maxpath top fix json html ->
+        (const (fun path tech sigma_t temperature with_maxpath top fix json
+                    html keep_going strict max_errors ->
              match
                analyze_netlist path tech sigma_t temperature with_maxpath top
-                 fix json html
+                 fix json html keep_going strict max_errors
              with
              | `Ok n -> `Ok n
              | exception Spice.Parser.Parse_error { line; message } ->
@@ -194,12 +288,23 @@ let analyze_cmd =
                `Error (false, "unsupported netlist: " ^ msg)
              | exception Failure msg -> `Error (false, msg))
         $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ with_maxpath $ top
-        $ fix $ json_path $ html_path))
+        $ fix $ json_path $ html_path $ keep_going $ strict $ max_errors))
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Analyze a power-grid netlist for EM immortality")
-    (Term.map (function 0 -> () | _ -> ()) term)
+       ~doc:"Analyze a power-grid netlist for EM immortality"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "$(b,0) on a clean run (warnings allowed unless $(b,--strict)); \
+              $(b,1) when error diagnostics were collected (skipped netlist \
+              lines, skipped structures) or, with $(b,--strict), when any \
+              warning was emitted; the usual cmdliner codes for fatal \
+              errors (unparseable netlist without $(b,--keep-going), \
+              exhausted $(b,--max-errors) budget, unsupported deck).";
+         ])
+    term
 
 (* ------------------------------------------------------------------ *)
 (* wire                                                                *)
@@ -236,7 +341,7 @@ let check_wire segments sigma_t temperature =
            else "potentially mortal"))
       parsed;
     Format.printf "@.%a@." Im.pp report;
-    `Ok ()
+    `Ok 0
 
 let wire_cmd =
   let segments =
@@ -293,7 +398,7 @@ let verify_cmd =
              with
              | Ok () ->
                print_endline "solution matches";
-               `Ok ()
+               `Ok 0
              | Error msg -> `Error (false, msg)
              | exception Spice.Parser.Parse_error { line; message } ->
                `Error (false, Printf.sprintf "%s:%d: %s" netlist line message)
@@ -315,7 +420,8 @@ let material_cmd =
     Term.(
       const (fun sigma_t temperature ->
           let m = material_of ~sigma_t ~temperature in
-          Format.printf "%a@." M.pp m)
+          Format.printf "%a@." M.pp m;
+          0)
       $ sigma_t_arg $ temperature_arg)
   in
   Cmd.v
@@ -328,4 +434,4 @@ let () =
       ~doc:"EM immortality checking for general interconnects (DAC'21)"
   in
   exit
-    (Cmd.eval (Cmd.group info [ analyze_cmd; wire_cmd; verify_cmd; material_cmd ]))
+    (Cmd.eval' (Cmd.group info [ analyze_cmd; wire_cmd; verify_cmd; material_cmd ]))

@@ -1,3 +1,21 @@
+exception Degenerate of string
+
+(* A structure whose total volume underflows to 0 (e.g. sub-femtometer
+   cross-sections from a damaged extraction) makes Q/A = 0/0 = nan, and
+   every downstream stress silently nan — which the classifiers would
+   then miscount. Detect it at the source and fail loudly; the flow
+   layer turns this into a per-structure diagnostic. *)
+let check_normalization ~volume ~q =
+  let q_over_a = q /. volume in
+  if not (Float.is_finite q_over_a) then
+    raise
+      (Degenerate
+         (Printf.sprintf
+            "steady-state normalization Q/A = %g/%g is not finite (all \
+             segment volumes vanished or overflowed)"
+            q volume));
+  q_over_a
+
 type solution = {
   reference : int;
   node_stress : float array;
@@ -45,7 +63,7 @@ let solve_component material s ~reference =
     end
   done;
   (* Step 3: node stresses. *)
-  let q_over_a = !q /. !volume in
+  let q_over_a = check_normalization ~volume:!volume ~q:!q in
   let node_stress =
     Array.map
       (fun bi -> if Float.is_nan bi then Float.nan else beta *. (q_over_a -. bi))
@@ -167,7 +185,7 @@ let solve_compact ?reference ?ws material (c : Compact.t) =
     q := !q +. (wh *. ((j *. l *. l /. 2.) +. (b.(tails.(k)) *. l)))
   done;
   (* Step 3: node stresses. *)
-  let q_over_a = !q /. !volume in
+  let q_over_a = check_normalization ~volume:!volume ~q:!q in
   for i = 0 to n - 1 do
     stress.(i) <- beta *. (q_over_a -. b.(i))
   done;

@@ -16,6 +16,14 @@
     spanning tree whenever the prescribed currents are cycle-consistent
     (which {!Structure.validate} checks). *)
 
+exception Degenerate of string
+(** Raised by the solvers when the normalization [Q / A] is not finite —
+    in practice when the total volume [A] underflows to 0 (all segment
+    volumes vanish, e.g. degenerate geometry from a damaged extraction)
+    or [Q] overflows. Without this check the whole stress vector would
+    silently be [nan] and misclassify. The flow layer catches it and
+    records a per-structure {!Diag.t}. *)
+
 type solution = {
   reference : int;             (** reference node [v_1] *)
   node_stress : float array;   (** [sigma^i], Pa, indexed by node *)
@@ -28,7 +36,8 @@ type solution = {
 val solve : ?reference:int -> Material.t -> Structure.t -> solution
 (** Raises [Invalid_argument] if the structure is not connected (solve
     components independently via {!solve_components}) or [reference] is
-    out of range. The default reference is the lowest-numbered terminus
+    out of range, and {!Degenerate} when the normalization [Q / A] is
+    not finite. The default reference is the lowest-numbered terminus
     (any node when the structure has no terminus). *)
 
 val solve_components : Material.t -> Structure.t -> solution array * int array
@@ -58,7 +67,8 @@ val solve_compact :
     [solve material (Compact.to_structure c)].
 
     Raises [Invalid_argument] if the structure is disconnected or
-    [reference] is out of range.
+    [reference] is out of range, and {!Degenerate} when [Q / A] is not
+    finite.
 
     With [?ws], [node_stress] and [blech_sum] in the returned solution
     alias workspace buffers and are overwritten by the next

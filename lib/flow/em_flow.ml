@@ -2,12 +2,15 @@ module M = Em_core.Material
 module Ss = Em_core.Steady_state
 module Cc = Em_core.Compact
 module Cl = Em_core.Classify
+module Dg = Em_core.Diag
 module Maxpath = Em_core.Baseline_maxpath
 
 type segment_record = {
   layer : int;
   length : float;
   j : float;
+  stress_tail : float;
+  stress_head : float;
   blech_immortal : bool;
   exact_immortal : bool;
   maxpath_immortal : bool;
@@ -19,11 +22,14 @@ type result = {
   segments : segment_record array;
   num_structures : int;
   num_segments : int;
+  diags : Dg.t list;
   solve_time : float;
   extract_time : float;
   analysis_time : float;
   stages : Pipeline.stage list;
 }
+
+let failed_structures r = Dg.count_errors r.diags
 
 (* Per-structure analysis on the columnar representation: one
    [solve_compact] through the worker's workspace, then the Blech filter
@@ -37,10 +43,17 @@ let analyze_one material with_maxpath ws (cs : Extract.compact_structure) =
   let threshold = M.effective_critical_stress material in
   let jl_crit = M.jl_crit material in
   let stress = sol.Ss.node_stress in
-  let node_immortal i =
-    let sigma = stress.(i) in
-    Float.is_nan sigma || sigma < threshold
-  in
+  (* [solve_compact] rejects a vanished volume; inf from overflowing
+     currents or geometry can still slip through, and a non-finite
+     stress must become a diagnostic rather than a silent verdict. *)
+  Array.iter
+    (fun sigma ->
+      if not (Float.is_finite sigma) then
+        raise
+          (Ss.Degenerate
+             (Printf.sprintf "non-finite node stress %g" sigma)))
+    stress;
+  let node_immortal i = stress.(i) < threshold in
   let maxpath =
     if with_maxpath then Maxpath.segment_immortal material (Cc.to_structure c)
     else [||]
@@ -48,17 +61,45 @@ let analyze_one material with_maxpath ws (cs : Extract.compact_structure) =
   Array.init (Cc.num_segments c) (fun k ->
       let l = c.Cc.length.(k) in
       let j = c.Cc.j.(k) in
-      let exact =
-        node_immortal c.Cc.tail.(k) && node_immortal c.Cc.head.(k)
-      in
+      let tail = c.Cc.tail.(k) and head = c.Cc.head.(k) in
+      let exact = node_immortal tail && node_immortal head in
       {
         layer = cs.Extract.cs_layer_level;
         length = l;
         j;
+        stress_tail = stress.(tail);
+        stress_head = stress.(head);
         blech_immortal = Float.abs j *. l <= jl_crit;
         exact_immortal = exact;
         maxpath_immortal = (if with_maxpath then maxpath.(k) else exact);
       })
+
+(* Fault isolation: one structure whose analysis threw (degenerate
+   geometry, disconnected columns, a solver bug) is recorded as an error
+   diagnostic naming the offender, and every other structure's analysis
+   proceeds — and stays bit-identical to a run without the offender,
+   because per-slot capture in [map_local_result] never aborts healthy
+   slots. *)
+let diag_of_failure i (cs : Extract.compact_structure) e =
+  let code =
+    match e with
+    | Ss.Degenerate _ -> "degenerate-structure"
+    | Invalid_argument _ -> "invalid-structure"
+    | _ -> "analysis-exception"
+  in
+  let detail =
+    match e with
+    | Ss.Degenerate m -> m
+    | Failure m -> m
+    | e -> Printexc.to_string e
+  in
+  Dg.error
+    ~source:(Dg.Structure { index = i; layer = cs.Extract.cs_layer_level })
+    ~code
+    (Printf.sprintf "analysis skipped (%d nodes, %d segments): %s"
+       (Cc.num_nodes cs.Extract.compact)
+       (Cc.num_segments cs.Extract.compact)
+       detail)
 
 (* Analyze + classify on already-columnar structures, recording stages
    into [p]. [analysis_time] keeps the historical convention: wall time
@@ -67,13 +108,26 @@ let analyze_one material with_maxpath ws (cs : Extract.compact_structure) =
 let finish_run p ~material ~with_maxpath ?jobs compacts =
   let t0 = Sys.time () in
   let wall0 = Unix.gettimeofday () in
-  let per_structure =
+  let compacts_arr = Array.of_list compacts in
+  let slots =
     Pipeline.run p "analyze" (fun () ->
-        Numerics.Parallel.map_local ?jobs
+        Numerics.Parallel.map_local_result ?jobs
           ~local:(fun () -> Ss.Workspace.create ())
           (fun ws cs -> analyze_one material with_maxpath ws cs)
-          (Array.of_list compacts))
+          compacts_arr)
   in
+  let diags = ref [] in
+  let per_structure =
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Ok records -> records
+        | Error (e, _bt) ->
+          diags := diag_of_failure i compacts_arr.(i) e :: !diags;
+          [||])
+      slots
+  in
+  let diags = List.rev !diags in
   let counts, maxpath_counts, segments =
     Pipeline.run p "classify" (fun () ->
         let counts = ref Cl.empty in
@@ -97,7 +151,7 @@ let finish_run p ~material ~with_maxpath ?jobs compacts =
     | Some j when j > 1 -> Unix.gettimeofday () -. wall0
     | _ -> Sys.time () -. t0
   in
-  (counts, maxpath_counts, segments, analysis_time)
+  (counts, maxpath_counts, segments, analysis_time, diags)
 
 let stage_cpu p name =
   List.fold_left
@@ -105,14 +159,15 @@ let stage_cpu p name =
       if String.equal s.Pipeline.name name then acc +. s.Pipeline.cpu_s else acc)
     0. (Pipeline.stages p)
 
-let make_result p ~counts ~maxpath_counts ~segments ~num_structures ~analysis_time
-    =
+let make_result p ~counts ~maxpath_counts ~segments ~num_structures
+    ~analysis_time ~diags =
   {
     counts;
     maxpath_counts;
     segments;
     num_structures;
     num_segments = Array.length segments;
+    diags;
     solve_time = stage_cpu p "solve";
     extract_time = stage_cpu p "extract";
     analysis_time;
@@ -121,11 +176,11 @@ let make_result p ~counts ~maxpath_counts ~segments ~num_structures ~analysis_ti
 
 let run_on_compact ?(material = M.cu_dac21) ?(with_maxpath = false) ?jobs
     ?(pipeline = Pipeline.create ()) compacts =
-  let counts, maxpath_counts, segments, analysis_time =
+  let counts, maxpath_counts, segments, analysis_time, diags =
     finish_run pipeline ~material ~with_maxpath ?jobs compacts
   in
   make_result pipeline ~counts ~maxpath_counts ~segments
-    ~num_structures:(List.length compacts) ~analysis_time
+    ~num_structures:(List.length compacts) ~analysis_time ~diags
 
 let run_on_structures ?material ?with_maxpath ?jobs structures =
   let p = Pipeline.create () in
@@ -169,4 +224,8 @@ let pp_summary ppf r =
   List.iter
     (fun (s : Pipeline.stage) ->
       Format.fprintf ppf "@,  %a" Pipeline.pp_stage s)
-    r.stages
+    r.stages;
+  if r.diags <> [] then begin
+    Format.fprintf ppf "@,diagnostics: %a" Dg.pp_summary r.diags;
+    List.iter (fun d -> Format.fprintf ppf "@,  %a" Dg.pp d) r.diags
+  end

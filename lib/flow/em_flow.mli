@@ -13,6 +13,15 @@
     parallelizes over domains and allocates (near) nothing per
     structure.
 
+    Fault isolation: analysis failures are captured {e per structure} —
+    an exception or a degenerate/non-finite stress result in one
+    structure becomes an error {!Em_core.Diag.t} in {!result.diags}
+    naming the offender (batch index, metal layer), contributes no
+    segments, and leaves every other structure's results bit-identical
+    to a run without the offender. The batch never aborts; callers that
+    want strictness inspect [diags] (as `emcheck analyze --strict`
+    does).
+
     The optional max-path heuristic (refs [12,13]) can be run
     side-by-side as an ablation. *)
 
@@ -20,6 +29,8 @@ type segment_record = {
   layer : int;         (** metal level *)
   length : float;      (** m *)
   j : float;           (** signed electron current density, A/m^2 *)
+  stress_tail : float; (** steady-state stress at the tail node, Pa *)
+  stress_head : float; (** steady-state stress at the head node, Pa *)
   blech_immortal : bool;
   exact_immortal : bool;
   maxpath_immortal : bool; (** equals [exact] when the ablation is off *)
@@ -29,14 +40,21 @@ type result = {
   counts : Em_core.Classify.counts;          (** Blech vs exact *)
   maxpath_counts : Em_core.Classify.counts option;
   segments : segment_record array;
-  num_structures : int;
-  num_segments : int;
+  num_structures : int;  (** structures submitted, including failed ones *)
+  num_segments : int;    (** segments of successfully analyzed structures *)
+  diags : Em_core.Diag.t list;
+      (** per-structure analysis failures, batch order; empty on a
+          clean run *)
   solve_time : float;    (** DC operating point, CPU s *)
   extract_time : float;  (** structure extraction, CPU s *)
   analysis_time : float; (** EM analysis of all structures, CPU s *)
   stages : Pipeline.stage list;
       (** per-stage instrumentation, execution order *)
 }
+
+val failed_structures : result -> int
+(** Number of structures whose analysis was skipped
+    ([Em_core.Diag.count_errors] of {!result.diags}). *)
 
 val run :
   ?material:Em_core.Material.t ->
@@ -58,7 +76,8 @@ val run_on_compact :
   Extract.compact_structure list ->
   result
 (** The analyze/classify half on already-columnar structures
-    (solve/extract times are 0 unless [pipeline] carries prior stages). *)
+    (solve/extract times are 0 unless [pipeline] carries prior stages).
+    Diagnostic sources index into the given list. *)
 
 val run_on_structures :
   ?material:Em_core.Material.t ->
@@ -72,5 +91,6 @@ val run_on_structures :
     the boxed structures directly. *)
 
 val pp_summary : Format.formatter -> result -> unit
-(** Totals, confusion counts, and one indented line per pipeline stage
-    (wall, CPU, allocated words). *)
+(** Totals, confusion counts, one indented line per pipeline stage
+    (wall, CPU, allocated words), and — when present — the diagnostic
+    counts followed by one line per diagnostic. *)

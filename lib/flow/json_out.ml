@@ -1,4 +1,5 @@
 module Cl = Em_core.Classify
+module Dg = Em_core.Diag
 
 type t =
   | Null
@@ -86,11 +87,37 @@ let of_stage (s : Pipeline.stage) =
 
 let of_stages stages = List (Stdlib.List.map of_stage stages)
 
+let of_diag_source = function
+  | Dg.Global -> Obj [ ("kind", String "global") ]
+  | Dg.Netlist_line line ->
+    Obj [ ("kind", String "netlist-line"); ("line", Int line) ]
+  | Dg.Structure { index; layer } ->
+    Obj
+      [ ("kind", String "structure"); ("index", Int index);
+        ("layer", Int layer) ]
+  | Dg.Node { structure; layer; node } ->
+    Obj
+      [ ("kind", String "node"); ("structure", Int structure);
+        ("layer", Int layer); ("node", Int node) ]
+
+let of_diag (d : Dg.t) =
+  Obj
+    [
+      ("severity", String (Dg.severity_to_string d.Dg.severity));
+      ("code", String d.Dg.code);
+      ("source", of_diag_source d.Dg.source);
+      ("message", String d.Dg.message);
+    ]
+
+let of_diags ds = List (Stdlib.List.map of_diag ds)
+
 let of_flow_result (r : Em_flow.result) =
   Obj
     [
       ("structures", Int r.Em_flow.num_structures);
+      ("failed_structures", Int (Em_flow.failed_structures r));
       ("segments", Int r.Em_flow.num_segments);
+      ("diagnostics", of_diags r.Em_flow.diags);
       ("blech_vs_exact", of_counts r.Em_flow.counts);
       ( "maxpath_vs_exact",
         match r.Em_flow.maxpath_counts with

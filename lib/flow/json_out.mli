@@ -26,6 +26,12 @@ val of_stage : Pipeline.stage -> t
 val of_stages : Pipeline.stage list -> t
 (** Per-stage wall/CPU/allocation stats, execution order. *)
 
+val of_diag : Em_core.Diag.t -> t
+(** Object with [severity] / [code] / [source] / [message]; [severity]
+    uses the stable strings of {!Em_core.Diag.severity_to_string}. *)
+
+val of_diags : Em_core.Diag.t list -> t
+
 val of_flow_result : Em_flow.result -> t
 (** Confusion matrix, structure/segment counts and timings; the
     per-segment list is summarized (it can be millions long — use

@@ -1,88 +1,88 @@
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let map ?jobs f xs =
+let clamp_jobs ~who ~n jobs =
+  match jobs with
+  | Some j when j < 1 -> invalid_arg (who ^ ": jobs < 1")
+  | Some j -> min j n
+  | None -> min (recommended_jobs ()) n
+
+(* Balanced contiguous ranges. *)
+let chunk ~n ~jobs w =
+  let base = n / jobs and extra = n mod jobs in
+  let lo = (w * base) + min w extra in
+  let len = base + if w < extra then 1 else 0 in
+  (lo, len)
+
+(* Shared driver: every slot is written exactly once with either the
+   value or the exception (plus its backtrace) raised while computing
+   it, so one poisoned item never aborts the rest of its chunk and no
+   synchronization beyond join is needed. *)
+let run_slots ~jobs ~local f xs =
   let n = Array.length xs in
-  let jobs =
-    match jobs with
-    | Some j when j < 1 -> invalid_arg "Parallel.map: jobs < 1"
-    | Some j -> min j n
-    | None -> min (recommended_jobs ()) n
+  let out =
+    Array.make n
+      (Error (Failure "Parallel: slot not written", Printexc.get_callstack 0))
   in
-  if n = 0 then [||]
-  else if jobs <= 1 then Array.map f xs
+  let body state i =
+    out.(i) <-
+      (match f state xs.(i) with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+  in
+  if jobs <= 1 then begin
+    let state = local () in
+    for i = 0 to n - 1 do
+      body state i
+    done
+  end
   else begin
-    (* Results land in an option array: each slot is written by exactly
-       one domain, so no synchronization beyond join is needed. *)
-    let out = Array.make n None in
-    let failure = Atomic.make None in
-    let chunk w =
-      (* Balanced contiguous ranges. *)
-      let base = n / jobs and extra = n mod jobs in
-      let lo = (w * base) + min w extra in
-      let len = base + if w < extra then 1 else 0 in
-      (lo, len)
-    in
     let worker w () =
-      let lo, len = chunk w in
-      try
-        for i = lo to lo + len - 1 do
-          out.(i) <- Some (f xs.(i))
-        done
-      with e -> Atomic.compare_and_set failure None (Some e) |> ignore
+      (* One state per worker domain, created inside the domain so any
+         mutable buffers it holds are never shared. *)
+      let state = local () in
+      let lo, len = chunk ~n ~jobs w in
+      for i = lo to lo + len - 1 do
+        body state i
+      done
     in
     let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
     worker 0 ();
-    List.iter Domain.join domains;
-    (match Atomic.get failure with
-    | Some e -> raise e
-    | None -> ());
-    Array.map
-      (function Some v -> v | None -> assert false (* every slot written *))
-      out
-  end
+    List.iter Domain.join domains
+  end;
+  out
+
+let failures slots =
+  Array.fold_left
+    (fun acc -> function Error _ -> acc + 1 | Ok _ -> acc)
+    0 slots
+
+(* Re-raise the lowest-indexed failure with its original backtrace
+   (deterministic, unlike first-to-fail racing across domains). *)
+let reraise_first slots =
+  Array.iter
+    (function
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Ok _ -> ())
+    slots
+
+let unwrap_slots slots =
+  reraise_first slots;
+  Array.map (function Ok v -> v | Error _ -> assert false) slots
+
+let map_local_result ?jobs ~local f xs =
+  let jobs = clamp_jobs ~who:"Parallel.map_local_result" ~n:(Array.length xs) jobs in
+  run_slots ~jobs ~local f xs
+
+let map_result ?jobs f xs =
+  let jobs = clamp_jobs ~who:"Parallel.map_result" ~n:(Array.length xs) jobs in
+  run_slots ~jobs ~local:(fun () -> ()) (fun () x -> f x) xs
 
 let map_local ?jobs ~local f xs =
-  let n = Array.length xs in
-  let jobs =
-    match jobs with
-    | Some j when j < 1 -> invalid_arg "Parallel.map_local: jobs < 1"
-    | Some j -> min j n
-    | None -> min (recommended_jobs ()) n
-  in
-  if n = 0 then [||]
-  else if jobs <= 1 then begin
-    let state = local () in
-    Array.map (f state) xs
-  end
-  else begin
-    let out = Array.make n None in
-    let failure = Atomic.make None in
-    let chunk w =
-      let base = n / jobs and extra = n mod jobs in
-      let lo = (w * base) + min w extra in
-      let len = base + if w < extra then 1 else 0 in
-      (lo, len)
-    in
-    let worker w () =
-      let lo, len = chunk w in
-      try
-        (* One state per worker domain, created inside the domain so any
-           mutable buffers it holds are never shared. *)
-        let state = local () in
-        for i = lo to lo + len - 1 do
-          out.(i) <- Some (f state xs.(i))
-        done
-      with e -> Atomic.compare_and_set failure None (Some e) |> ignore
-    in
-    let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
-    worker 0 ();
-    List.iter Domain.join domains;
-    (match Atomic.get failure with
-    | Some e -> raise e
-    | None -> ());
-    Array.map
-      (function Some v -> v | None -> assert false (* every slot written *))
-      out
-  end
+  let jobs = clamp_jobs ~who:"Parallel.map_local" ~n:(Array.length xs) jobs in
+  unwrap_slots (run_slots ~jobs ~local f xs)
+
+let map ?jobs f xs =
+  let jobs = clamp_jobs ~who:"Parallel.map" ~n:(Array.length xs) jobs in
+  unwrap_slots (run_slots ~jobs ~local:(fun () -> ()) (fun () x -> f x) xs)
 
 let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))

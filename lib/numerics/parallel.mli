@@ -4,15 +4,25 @@
     its own domain and preserves order. Use for pure, CPU-bound [f] over
     independent items (per-structure EM analysis, Monte-Carlo samples);
     the chunking is static, so items should have comparable cost or be
-    numerous enough to average out. *)
+    numerous enough to average out.
+
+    Failure semantics: every slot is computed independently. The
+    [*_result] variants capture each item's outcome — value, or
+    exception with its original backtrace — so one poisoned item cannot
+    abort or mask the others ({!failures} counts the failed slots).
+    {!map} / {!map_local} compute all slots too, then re-raise the
+    lowest-indexed failure with {!Printexc.raise_with_backtrace}
+    (deterministic, backtrace preserved). *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count], clamped to at least 1. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [jobs] defaults to {!recommended_jobs}; [jobs = 1] runs in the
-    calling domain. Exceptions raised by [f] are re-raised in the caller
-    after all domains have joined. *)
+    calling domain. If any item raises, the lowest-indexed failure is
+    re-raised in the caller with its original backtrace after all
+    domains have joined; use {!map_result} to observe every failure
+    and how many slots failed. *)
 
 val map_local : ?jobs:int -> local:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
 (** Like {!map}, but each worker domain first creates its own local state
@@ -20,5 +30,26 @@ val map_local : ?jobs:int -> local:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array 
     to give each domain a private scratch workspace (e.g. a
     [Steady_state.Workspace.t]) without any sharing or locking. With
     [jobs <= 1] a single state is created in the calling domain. *)
+
+val map_result :
+  ?jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn * Printexc.raw_backtrace) result array
+(** Per-slot error capture: slot [i] is [Ok (f xs.(i))], or
+    [Error (e, bt)] when computing it raised [e] (with the backtrace
+    captured at the raise point). Never raises from [f]'s exceptions;
+    all items are attempted. *)
+
+val map_local_result :
+  ?jobs:int ->
+  local:(unit -> 's) ->
+  ('s -> 'a -> 'b) ->
+  'a array ->
+  ('b, exn * Printexc.raw_backtrace) result array
+(** {!map_result} with per-domain local state, as in {!map_local}. *)
+
+val failures : ('b, exn * Printexc.raw_backtrace) result array -> int
+(** Number of [Error] slots in a [*_result] array. *)
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

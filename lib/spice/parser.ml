@@ -1,30 +1,49 @@
 exception Parse_error of { line : int; message : string }
 
-let suffix_scale = function
-  | "" -> Some 1.
-  | "t" -> Some 1e12
-  | "g" -> Some 1e9
-  | "meg" -> Some 1e6
-  | "k" -> Some 1e3
-  | "m" -> Some 1e-3
-  | "u" -> Some 1e-6
-  | "n" -> Some 1e-9
-  | "p" -> Some 1e-12
-  | "f" -> Some 1e-15
-  | _ -> None
+type line_error = { line : int; message : string }
+
+let default_max_errors = 20
+
+(* Engineering scales, longest spelling first so "meg" wins over "m". *)
+let scales =
+  [ ("meg", 1e6); ("t", 1e12); ("g", 1e9); ("k", 1e3); ("m", 1e-3);
+    ("u", 1e-6); ("n", 1e-9); ("p", 1e-12); ("f", 1e-15) ]
+
+let is_unit_char c = 'a' <= c && c <= 'z'
+
+(* SPICE semantics: the scale is the longest engineering prefix of the
+   suffix; any remaining letters are unit text and ignored ("1.2ku",
+   "15.6ma", "3.3megohm", "5v"). Non-alphabetic trailing characters stay
+   malformed. *)
+let suffix_scale suffix =
+  if suffix = "" then Some 1.
+  else if not (String.for_all is_unit_char suffix) then None
+  else
+    match
+      List.find_opt (fun (p, _) -> String.starts_with ~prefix:p suffix) scales
+    with
+    | Some (_, scale) -> Some scale
+    | None -> Some 1. (* pure unit text, e.g. "v", "ohm" *)
 
 let parse_value raw =
   let s = String.lowercase_ascii (String.trim raw) in
   if s = "" then failwith "empty numeric literal";
-  (* Longest numeric prefix, then a recognised suffix (trailing unit
-     letters after the scale, like "15.6ma", are tolerated by SPICE; we
-     accept a bare scale suffix only, to stay strict). *)
   let n = String.length s in
+  (* Longest numeric prefix. An 'e' only belongs to the number when an
+     exponent actually follows (digits, or a sign then digits) —
+     otherwise it starts the unit text, so "5ev" is 5 with unit "ev"
+     rather than a malformed exponent. *)
+  let digit_at i = i < n && (match s.[i] with '0' .. '9' -> true | _ -> false) in
   let is_num_char i c =
     match c with
     | '0' .. '9' | '.' -> true
-    | '+' | '-' -> i = 0 || (i > 0 && (s.[i - 1] = 'e'))
-    | 'e' -> i > 0
+    | '+' | '-' -> i = 0 || s.[i - 1] = 'e'
+    | 'e' ->
+      i > 0
+      && (digit_at (i + 1)
+         || (i + 1 < n
+            && (s.[i + 1] = '+' || s.[i + 1] = '-')
+            && digit_at (i + 2)))
     | _ -> false
   in
   let split = ref 0 in
@@ -72,24 +91,72 @@ let parse_into builder lineno line =
       fail (Printf.sprintf "expected 4 fields, found %d" (List.length fields))
   end
 
+(* Recovery mode: a malformed line becomes a recorded error and the line
+   is skipped, until the budget is exhausted — then the parse aborts so
+   a wholly-wrong file (a binary, a different format) cannot dribble
+   thousands of diagnostics while producing a near-empty netlist. *)
+let parse_into_tolerant builder ~max_errors errors count lineno line =
+  try parse_into builder lineno line with
+  | Parse_error { line; message } ->
+    incr count;
+    if !count > max_errors then
+      raise
+        (Parse_error
+           {
+             line;
+             message =
+               Printf.sprintf
+                 "too many malformed lines (more than %d); last error: %s"
+                 max_errors message;
+           });
+    errors := { line; message } :: !errors
+
 let parse_string ?(title = "parsed netlist") text =
   let builder = Netlist.Builder.create ~title () in
   let lines = String.split_on_char '\n' text in
   List.iteri (fun i line -> parse_into builder (i + 1) line) lines;
   Netlist.Builder.finish builder
 
-let parse_file path =
+let parse_string_tolerant ?(max_errors = default_max_errors)
+    ?(title = "parsed netlist") text =
+  if max_errors < 0 then invalid_arg "Parser.parse_string_tolerant: max_errors < 0";
+  let builder = Netlist.Builder.create ~title () in
+  let errors = ref [] and count = ref 0 in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      parse_into_tolerant builder ~max_errors errors count (i + 1) line)
+    lines;
+  (Netlist.Builder.finish builder, List.rev !errors)
+
+let with_file_lines path ~init ~line ~finish =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let builder = Netlist.Builder.create ~title:(Filename.basename path) () in
+      let state = init () in
       let lineno = ref 0 in
       (try
          while true do
-           let line = input_line ic in
+           let l = input_line ic in
            incr lineno;
-           parse_into builder !lineno line
+           line state !lineno l
          done
        with End_of_file -> ());
-      Netlist.Builder.finish builder)
+      finish state)
+
+let parse_file path =
+  with_file_lines path
+    ~init:(fun () -> Netlist.Builder.create ~title:(Filename.basename path) ())
+    ~line:(fun builder lineno l -> parse_into builder lineno l)
+    ~finish:Netlist.Builder.finish
+
+let parse_file_tolerant ?(max_errors = default_max_errors) path =
+  if max_errors < 0 then invalid_arg "Parser.parse_file_tolerant: max_errors < 0";
+  let errors = ref [] and count = ref 0 in
+  with_file_lines path
+    ~init:(fun () -> Netlist.Builder.create ~title:(Filename.basename path) ())
+    ~line:(fun builder lineno l ->
+      parse_into_tolerant builder ~max_errors errors count lineno l)
+    ~finish:(fun builder ->
+      (Netlist.Builder.finish builder, List.rev !errors))

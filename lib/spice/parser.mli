@@ -7,10 +7,27 @@
     - [V<id> <node> <node> <value>] DC voltage source;
     - [.op], [.end] and other dot-cards are ignored.
 
-    Values accept scientific notation plus the usual SPICE magnitude
-    suffixes ([t g meg k m u n p f]). *)
+    Values accept scientific notation (including [+]-prefixed
+    exponents) plus the usual SPICE magnitude suffixes
+    ([t g meg k m u n p f]), optionally followed by unit text
+    ("1.2ku", "15.6ma", "3.3megohm", "5v").
+
+    Two parsing modes:
+    - strict ({!parse_string} / {!parse_file}): the first malformed
+      line raises {!Parse_error};
+    - recovery ({!parse_string_tolerant} / {!parse_file_tolerant}):
+      malformed lines are skipped and recorded as {!line_error}s, up to
+      a [max_errors] budget — exceeding the budget raises
+      {!Parse_error}, so a wholly-wrong file still fails fast. *)
 
 exception Parse_error of { line : int; message : string }
+
+type line_error = { line : int; message : string }
+(** One skipped line in recovery mode: 1-based line number and the
+    reason it was rejected. *)
+
+val default_max_errors : int
+(** Budget used when [max_errors] is omitted (20). *)
 
 val parse_value : string -> float
 (** Parse a single numeric literal with optional suffix; raises
@@ -21,3 +38,14 @@ val parse_string : ?title:string -> string -> Netlist.t
 
 val parse_file : string -> Netlist.t
 (** [parse_file path]; the title defaults to the file's basename. *)
+
+val parse_string_tolerant :
+  ?max_errors:int -> ?title:string -> string -> Netlist.t * line_error list
+(** Recovery mode: returns the netlist built from the well-formed lines
+    plus the skipped lines in file order. Raises {!Parse_error} when
+    more than [max_errors] lines are malformed, [Invalid_argument] when
+    [max_errors < 0]. *)
+
+val parse_file_tolerant :
+  ?max_errors:int -> string -> Netlist.t * line_error list
+(** {!parse_string_tolerant} over a file. *)

@@ -270,6 +270,58 @@ let test_disconnected_rejected () =
   in
   check_raises_invalid "solve on disconnected" (fun () -> ignore (Ss.solve cu s))
 
+(* Positive-but-subnormal geometry whose per-segment volumes underflow
+   to 0 passes construction-time validation, yet makes the paper's
+   normalization A = sum w h l exactly 0 — Q/A = 0/0. Before the
+   degenerate check this silently produced all-nan stresses that the
+   classifiers miscounted. *)
+let degenerate_structure () =
+  St.line
+    [ St.segment ~height:1e-200 ~length:1e-6 ~width:1e-200 ~j:1e10 () ]
+
+let test_degenerate_volume_rejected () =
+  let s = degenerate_structure () in
+  (* The structure itself is valid (all geometry strictly positive)... *)
+  Alcotest.(check bool) "connected" true (St.is_connected s);
+  Alcotest.(check (float 0.)) "volume underflows" 0. (St.volume s);
+  (* ...but both solvers must refuse to emit nan stresses. *)
+  (match Ss.solve cu s with
+  | exception Ss.Degenerate _ -> ()
+  | exception e ->
+    Alcotest.failf "expected Degenerate, got %s" (Printexc.to_string e)
+  | sol ->
+    Alcotest.failf "boxed solve returned stresses (node 0: %g)"
+      sol.Ss.node_stress.(0));
+  let c = Em_core.Compact.of_structure s in
+  (match Ss.solve_compact cu c with
+  | exception Ss.Degenerate _ -> ()
+  | exception e ->
+    Alcotest.failf "expected Degenerate, got %s" (Printexc.to_string e)
+  | sol ->
+    Alcotest.failf "columnar solve returned stresses (node 0: %g)"
+      sol.Ss.node_stress.(0));
+  (* solve_components funnels through the same kernel. *)
+  match Ss.solve_components cu s with
+  | exception Ss.Degenerate _ -> ()
+  | _ -> Alcotest.fail "solve_components must reject a zero-volume component"
+
+let test_degenerate_message_names_cause () =
+  match Ss.solve cu (degenerate_structure ()) with
+  | exception Ss.Degenerate msg ->
+    Alcotest.(check bool) "mentions Q/A" true
+      (String.length msg > 0
+      &&
+      let contains needle =
+        let n = String.length needle in
+        let found = ref false in
+        for i = 0 to String.length msg - n do
+          if String.sub msg i n = needle then found := true
+        done;
+        !found
+      in
+      contains "Q/A")
+  | _ -> Alcotest.fail "expected Degenerate"
+
 let test_solve_components () =
   let s =
     St.make ~num_nodes:4
@@ -1042,6 +1094,8 @@ let suites =
         case "linear stress profile" test_stress_at_linear_profile;
         case "mass conservation" test_mass_conservation;
         case "disconnected rejected" test_disconnected_rejected;
+        case "degenerate volume rejected" test_degenerate_volume_rejected;
+        case "degenerate message names cause" test_degenerate_message_names_cause;
         case "solve_components" test_solve_components;
       ] );
     ( "core.mesh",

@@ -830,6 +830,134 @@ let test_html_report () =
   Alcotest.(check bool) "repair section" true (contains "Repair plan");
   Alcotest.(check bool) "closes" true (contains "</html>")
 
+(* ---------------------------------------------------------------- *)
+(* Fault isolation                                                   *)
+
+module Dg = Em_core.Diag
+
+(* A structure whose per-field geometry is valid (strictly positive and
+   finite) but whose cross-sections underflow to zero: the total volume
+   A is 0, the steady-state normalization Q/A is 0/0, and the analysis
+   raises [Steady_state.Degenerate]. *)
+let poison_compact () =
+  let s =
+    St.line [ St.segment ~height:1e-200 ~length:1e-6 ~width:1e-200 ~j:1e10 () ]
+  in
+  {
+    Ex.cs_layer_level = 9;
+    compact = Cc.of_structure s;
+    cs_node_names = [| "poison:a"; "poison:b" |];
+    cs_element_ids = [| 0 |];
+  }
+
+let insert_at k x xs =
+  let rec go i = function
+    | rest when i = k -> x :: rest
+    | [] -> [ x ]
+    | y :: ys -> y :: go (i + 1) ys
+  in
+  go 0 xs
+
+let bits = Int64.bits_of_float
+
+let check_segments_bit_identical clean dirty =
+  Alcotest.(check int) "same number of segment records" (Array.length clean)
+    (Array.length dirty);
+  Array.iteri
+    (fun i (c : Flow.segment_record) ->
+      let d = dirty.(i) in
+      let same =
+        c.Flow.layer = d.Flow.layer
+        && bits c.Flow.length = bits d.Flow.length
+        && bits c.Flow.j = bits d.Flow.j
+        && bits c.Flow.stress_tail = bits d.Flow.stress_tail
+        && bits c.Flow.stress_head = bits d.Flow.stress_head
+        && c.Flow.blech_immortal = d.Flow.blech_immortal
+        && c.Flow.exact_immortal = d.Flow.exact_immortal
+        && c.Flow.maxpath_immortal = d.Flow.maxpath_immortal
+      in
+      if not same then Alcotest.failf "segment record %d differs" i)
+    clean
+
+(* Shared across the cases below: the healthy batch and its clean-run
+   baseline (solving the grid once keeps the suite fast). *)
+let fault_fixture =
+  lazy
+    (let g = small_grid () in
+     let sol = Spice.Mna.solve g.Gg.netlist in
+     let healthy = Ex.extract_compact ~tech:g.Gg.tech sol in
+     (healthy, Flow.run_on_compact healthy))
+
+let check_poisoned_batch ?jobs ~pos healthy (clean : Flow.result) =
+  let dirty =
+    Flow.run_on_compact ?jobs (insert_at pos (poison_compact ()) healthy)
+  in
+  (match dirty.Flow.diags with
+  | [ d ] ->
+    Alcotest.(check bool) "error severity" true (d.Dg.severity = Dg.Error);
+    Alcotest.(check string) "stable code" "degenerate-structure" d.Dg.code;
+    (match d.Dg.source with
+    | Dg.Structure { index; layer } ->
+      Alcotest.(check int) "diag names the poisoned index" pos index;
+      Alcotest.(check int) "diag names the poisoned layer" 9 layer
+    | _ -> Alcotest.fail "diagnostic source is not a structure")
+  | ds -> Alcotest.failf "expected exactly 1 diagnostic, got %d" (List.length ds));
+  Alcotest.(check int) "failed_structures" 1 (Flow.failed_structures dirty);
+  Alcotest.(check int) "num_structures includes the poison"
+    (List.length healthy + 1)
+    dirty.Flow.num_structures;
+  Alcotest.(check int) "num_segments excludes the poison"
+    clean.Flow.num_segments dirty.Flow.num_segments;
+  Alcotest.(check bool) "confusion counts unchanged" true
+    (clean.Flow.counts = dirty.Flow.counts);
+  check_segments_bit_identical clean.Flow.segments dirty.Flow.segments
+
+let test_flow_fault_isolation () =
+  let healthy, clean = Lazy.force fault_fixture in
+  Alcotest.(check int) "clean run has no diagnostics" 0
+    (List.length clean.Flow.diags);
+  Alcotest.(check int) "clean run has no failures" 0
+    (Flow.failed_structures clean);
+  let n = List.length healthy in
+  List.iter
+    (fun pos ->
+      check_poisoned_batch ~pos healthy clean;
+      check_poisoned_batch ~jobs:4 ~pos healthy clean)
+    [ 0; n / 2; n ]
+
+let test_flow_fault_isolation_qcheck =
+  qcheck ~count:12 "poison position never disturbs healthy structures"
+    QCheck2.Gen.(pair (int_bound 997) (int_range 1 4))
+    (fun (raw_pos, jobs) ->
+      let healthy, clean = Lazy.force fault_fixture in
+      let pos = raw_pos mod (List.length healthy + 1) in
+      check_poisoned_batch ~jobs ~pos healthy clean;
+      true)
+
+let test_flow_diags_serialized () =
+  let healthy, _ = Lazy.force fault_fixture in
+  let dirty = Flow.run_on_compact (insert_at 0 (poison_compact ()) healthy) in
+  let contains hay needle =
+    let n = String.length needle in
+    let found = ref false in
+    for i = 0 to String.length hay - n do
+      if String.sub hay i n = needle then found := true
+    done;
+    !found
+  in
+  let summary = Format.asprintf "%a" Flow.pp_summary dirty in
+  Alcotest.(check bool) "summary counts diagnostics" true
+    (contains summary "diagnostics:");
+  Alcotest.(check bool) "summary lists the diagnostic" true
+    (contains summary "degenerate-structure");
+  let json = J.to_string (J.of_flow_result dirty) in
+  Alcotest.(check bool) "json failed_structures" true
+    (contains json {|"failed_structures":1|});
+  Alcotest.(check bool) "json diagnostic code" true
+    (contains json "degenerate-structure");
+  Alcotest.(check bool) "json severity" true
+    (contains json {|"severity":"error"|})
+
 let suites =
   [
     ( "flow.extract",
@@ -850,6 +978,12 @@ let suites =
         case "zero current => all immortal" test_flow_zero_current_all_immortal;
         case "parallel matches sequential" test_flow_parallel_matches_sequential;
         case "pipeline stages recorded" test_flow_stages_recorded;
+      ] );
+    ( "flow.fault_isolation",
+      [
+        case "poisoned batch isolates the offender" test_flow_fault_isolation;
+        case "diagnostics serialized" test_flow_diags_serialized;
+        test_flow_fault_isolation_qcheck;
       ] );
     ( "flow.scatter",
       [

@@ -535,6 +535,82 @@ let test_parallel_list () =
   Alcotest.(check (list int)) "map_list" [ 2; 3; 4 ]
     (Par.map_list ~jobs:2 (fun x -> x + 1) [ 1; 2; 3 ])
 
+let test_parallel_map_result_slots () =
+  (* One poisoned item per decade: every healthy slot still computes,
+     every poisoned slot carries its own exception. *)
+  let slots =
+    Par.map_result ~jobs:4
+      (fun i -> if i mod 10 = 3 then failwith (Printf.sprintf "bad %d" i) else 2 * i)
+      (Array.init 50 (fun i -> i))
+  in
+  Alcotest.(check int) "failed slots" 5 (Par.failures slots);
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Ok v ->
+        Alcotest.(check bool) "healthy index" true (i mod 10 <> 3);
+        Alcotest.(check int) "value" (2 * i) v
+      | Error (Failure m, _) ->
+        Alcotest.(check bool) "poisoned index" true (i mod 10 = 3);
+        Alcotest.(check string) "message" (Printf.sprintf "bad %d" i) m
+      | Error (e, _) ->
+        Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+    slots
+
+let test_parallel_map_local_result () =
+  (* Worker state survives a poisoned item: items after the failure in
+     the same chunk still see the domain-local state. *)
+  let slots =
+    Par.map_local_result ~jobs:2
+      ~local:(fun () -> ref 0)
+      (fun acc i ->
+        incr acc;
+        if i = 5 then failwith "boom";
+        i + !acc)
+      (Array.init 12 (fun i -> i))
+  in
+  Alcotest.(check int) "one failure" 1 (Par.failures slots);
+  (match slots.(5) with
+  | Error (Failure m, _) when m = "boom" -> ()
+  | _ -> Alcotest.fail "slot 5 must carry its failure");
+  (* jobs=2 on 12 items: chunks are [0..5] and [6..11]; every non-failed
+     slot i gets i + (its 1-based position in its chunk). *)
+  Array.iteri
+    (fun i slot ->
+      if i <> 5 then
+        match slot with
+        | Ok v ->
+          let pos = if i < 6 then i + 1 else i - 6 + 1 in
+          Alcotest.(check int) (Printf.sprintf "slot %d" i) (i + pos) v
+        | Error _ -> Alcotest.failf "slot %d unexpectedly failed" i)
+    slots
+
+let test_parallel_first_error_deterministic () =
+  (* Multiple failing slots across different domains: map re-raises the
+     lowest-indexed one, not whichever worker lost the race. *)
+  for _ = 1 to 5 do
+    match
+      Par.map ~jobs:4
+        (fun i ->
+          if i = 11 || i = 40 || i = 77 then
+            failwith (Printf.sprintf "fail %d" i)
+          else i)
+        (Array.init 100 (fun i -> i))
+    with
+    | exception Failure m -> Alcotest.(check string) "lowest index" "fail 11" m
+    | _ -> Alcotest.fail "expected failure"
+  done
+
+let test_parallel_backtrace_preserved () =
+  (* raise_with_backtrace hands the caller the original raise point. *)
+  Printexc.record_backtrace true;
+  let deep_raise i =
+    if i = 3 then raise Not_found else i
+  in
+  match Par.map ~jobs:2 deep_raise (Array.init 8 (fun i -> i)) with
+  | exception Not_found -> () (* identity of the exception preserved *)
+  | _ -> Alcotest.fail "expected Not_found"
+
 let suites =
   [
     ( "numerics.vector",
@@ -601,6 +677,10 @@ let suites =
         case "edge cases" test_parallel_edge_cases;
         case "exception propagation" test_parallel_exception_propagates;
         case "map_list" test_parallel_list;
+        case "map_result per-slot capture" test_parallel_map_result_slots;
+        case "map_local_result keeps state" test_parallel_map_local_result;
+        case "first error deterministic" test_parallel_first_error_deterministic;
+        case "exception identity preserved" test_parallel_backtrace_preserved;
       ] );
     ( "numerics.rng",
       [

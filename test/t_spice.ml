@@ -69,6 +69,103 @@ let test_parse_values () =
     | exception Failure _ -> true
     | _ -> false)
 
+let test_parse_values_units_and_exponents () =
+  (* Engineering suffix with trailing unit text (SPICE ignores the unit
+     letters after the scale). *)
+  check_close "kilo + unit" 1200. (P.parse_value "1.2ku");
+  check_close "milli + amp" 15.6e-3 (P.parse_value "15.6mA");
+  check_close "meg + ohm" 3.3e6 (P.parse_value "3.3megohm");
+  check_close "mega spelled out" 2e6 (P.parse_value "2mega");
+  check_close "unit only" 5. (P.parse_value "5v");
+  check_close "unit only, word" 42. (P.parse_value "42ohm");
+  (* Signed / [+]-prefixed exponents and mantissas. *)
+  check_close "plus exponent" 1000. (P.parse_value "1e+3");
+  check_close "plus mantissa and exponent" 20. (P.parse_value "+2e+1");
+  check_close "minus exponent with suffix" 1.5e-6 (P.parse_value "1.5e-3m");
+  check_close "uppercase exponent" 1000. (P.parse_value "1E+3");
+  (* The 'e' of unit text must not be eaten as an exponent. *)
+  check_close "unit starting with e" 5. (P.parse_value "5ev");
+  (* Still rejected. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true
+        (match P.parse_value s with
+        | exception Failure _ -> true
+        | _ -> false))
+    [ "abc"; "1..2"; "5k3"; "1e+"; "3u+"; "" ]
+
+(* ---------------------------------------------------------------- *)
+(* Recovery-mode parsing                                             *)
+
+let corrupted_deck =
+  "* deck with damage\n\
+   R1 n1_0_0 n1_100_0 0.5\n\
+   R2 n1_100_0 0 notanumber\n\
+   Q9 a b 5\n\
+   I1 n1_100_0 0 2m\n\
+   R3 n1_100_0 n1_200_0\n\
+   V1 n1_0_0 0 1.8\n\
+   .end\n"
+
+let test_parse_tolerant_collects_errors () =
+  let net, errs = P.parse_string_tolerant corrupted_deck in
+  (* The good lines all made it into the netlist... *)
+  let s = N.stats net in
+  Alcotest.(check int) "resistors" 1 s.N.resistors;
+  Alcotest.(check int) "isrc" 1 s.N.current_sources;
+  Alcotest.(check int) "vsrc" 1 s.N.voltage_sources;
+  (* ...and the bad ones are each one located diagnostic, file order. *)
+  Alcotest.(check (list int)) "error lines" [ 3; 4; 6 ]
+    (List.map (fun (e : P.line_error) -> e.P.line) errs);
+  List.iter2
+    (fun (e : P.line_error) fragment ->
+      let contains hay needle =
+        let n = String.length needle in
+        let found = ref false in
+        for i = 0 to String.length hay - n do
+          if String.sub hay i n = needle then found := true
+        done;
+        !found
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "line %d message" e.P.line)
+        true
+        (contains e.P.message fragment))
+    errs
+    [ "notanumber"; "unsupported element"; "4 fields" ];
+  (* A clean deck reports no errors and parses identically to strict. *)
+  let clean = "R1 a b 1k\nV1 a 0 1.8\n" in
+  let net_t, errs_t = P.parse_string_tolerant clean in
+  Alcotest.(check int) "clean: no errors" 0 (List.length errs_t);
+  Alcotest.(check int) "clean: same stats" (N.stats (P.parse_string clean)).N.nodes
+    (N.stats net_t).N.nodes
+
+let test_parse_tolerant_budget () =
+  (* Exceeding the budget aborts: a wholly-wrong file must fail fast. *)
+  let junk = String.concat "\n" (List.init 10 (fun i -> Printf.sprintf "X%d" i)) in
+  (match P.parse_string_tolerant ~max_errors:3 junk with
+  | exception P.Parse_error { line = 4; _ } -> ()
+  | exception P.Parse_error { line; _ } ->
+    Alcotest.failf "budget tripped on line %d, expected 4" line
+  | _ -> Alcotest.fail "budget must abort the parse");
+  (* Exactly at the budget is still tolerated. *)
+  let _, errs = P.parse_string_tolerant ~max_errors:10 junk in
+  Alcotest.(check int) "all recorded" 10 (List.length errs);
+  check_raises_invalid "negative budget" (fun () ->
+      ignore (P.parse_string_tolerant ~max_errors:(-1) junk))
+
+let test_parse_tolerant_file () =
+  let path = Filename.temp_file "blech" ".sp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc corrupted_deck;
+      close_out oc;
+      let net, errs = P.parse_file_tolerant path in
+      Alcotest.(check int) "resistors" 1 (N.stats net).N.resistors;
+      Alcotest.(check int) "errors" 3 (List.length errs))
+
 let test_parse_basic_netlist () =
   let text =
     "* ibm-style deck\n\
@@ -429,8 +526,14 @@ let suites =
     ( "spice.parser",
       [
         case "numeric literals" test_parse_values;
+        case "unit suffixes and signed exponents"
+          test_parse_values_units_and_exponents;
         case "basic deck" test_parse_basic_netlist;
         case "parse errors carry line numbers" test_parse_errors;
+        case "recovery mode collects line errors"
+          test_parse_tolerant_collects_errors;
+        case "recovery mode error budget" test_parse_tolerant_budget;
+        case "recovery mode on files" test_parse_tolerant_file;
         case "comments and whitespace" test_parse_comments_and_whitespace;
         case "file roundtrip" test_parse_file_roundtrip;
         qcheck ~count:100 "print/parse fixpoint"
