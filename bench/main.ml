@@ -18,6 +18,7 @@ let usage () =
     \  ablation  max-path jl heuristic comparison\n\
     \  nucleation transient nucleation-time curves (extension)\n\
     \  variation process-variation Monte Carlo (extension)\n\
+    \  obs       telemetry overhead guard (off vs metrics vs trace)\n\
     \  bechamel  micro-benchmarks of each experiment kernel\n\
     \  all       everything above (default)\n\n\
      options:\n\
@@ -61,6 +62,7 @@ let () =
     | "ablation" -> B_ablation.run cfg
     | "nucleation" -> B_nucleation.run cfg
     | "variation" -> B_variation.run cfg
+    | "obs" -> B_obs.run cfg
     | "bechamel" -> B_bechamel.run cfg
     | "all" ->
       B_fig6.run cfg;
@@ -72,6 +74,7 @@ let () =
       B_ablation.run cfg;
       B_nucleation.run cfg;
       B_variation.run cfg;
+      B_obs.run cfg;
       B_bechamel.run cfg
     | other ->
       Printf.eprintf "unknown experiment %S\n\n" other;

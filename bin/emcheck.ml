@@ -53,6 +53,67 @@ let material_of ~sigma_t ~temperature =
   match temperature with None -> m | Some t -> M.with_temperature m t
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry plumbing shared by analyze and stats                      *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a hierarchical execution trace (pipeline stages, \
+           per-structure spans, worker lanes) and write it to $(docv) in \
+           Chrome trace-event JSON; open it in Perfetto \
+           (https://ui.perfetto.dev) or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect pipeline metrics (solve/classification counters, latency \
+           histogram, GC gauges) and write them to $(docv) in Prometheus \
+           text exposition format.")
+
+let parse_recoveries =
+  Obs.Metrics.counter ~help:"Malformed netlist lines skipped in recovery mode"
+    "em_parse_recoveries_total"
+
+(* Install the requested sinks; returns the trace buffer so the caller
+   can export it once the run is over. *)
+let start_telemetry ~trace_path ~metrics_path =
+  if Option.is_some metrics_path || Option.is_some trace_path then
+    Obs.Metrics.set_enabled true;
+  match trace_path with
+  | None -> None
+  | Some _ ->
+    let t = Obs.Trace.create () in
+    Obs.Trace.enable t;
+    Some t
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let export_telemetry ~trace_path ~metrics_path trace =
+  (match metrics_path with
+  | None -> ()
+  | Some out ->
+    write_file out (Obs.Metrics.to_prometheus ());
+    Printf.printf "Metrics written to %s\n" out);
+  match (trace_path, trace) with
+  | Some out, Some t ->
+    Obs.Trace.disable ();
+    Obs.Trace.write_chrome out t;
+    Printf.printf "Trace (%d spans) written to %s; open in \
+                   https://ui.perfetto.dev\n"
+      (Obs.Trace.num_events t) out
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
 
 module Dg = Em_core.Diag
@@ -80,11 +141,13 @@ let exit_code_of_diags ~strict diags =
   else 0
 
 let analyze_netlist path tech sigma_t temperature with_maxpath top fix
-    json_path html_path keep_going strict max_errors =
+    json_path html_path keep_going strict max_errors trace_path metrics_path =
   let material = material_of ~sigma_t ~temperature in
+  let trace = start_telemetry ~trace_path ~metrics_path in
   let netlist, parse_diags =
     if keep_going then begin
       let netlist, errs = Spice.Parser.parse_file_tolerant ~max_errors path in
+      Obs.Metrics.inc_by parse_recoveries (List.length errs);
       List.iter
         (fun (e : Spice.Parser.line_error) ->
           Printf.printf "%s:%d: skipped: %s\n" path e.Spice.Parser.line
@@ -187,19 +250,26 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     let plan = Emflow.Fixer.plan ~material structures in
     let doc =
       Emflow.Json_out.Obj
-        [
-          ("netlist", Emflow.Json_out.String path);
-          ("diagnostics", Emflow.Json_out.of_diags diags);
-          ("flow", Emflow.Json_out.of_flow_result r);
-          ("layers", Emflow.Json_out.of_layer_stats layers);
-          ("fix_plan", Emflow.Json_out.of_fixer_plan plan);
-        ]
+        ([
+           ("netlist", Emflow.Json_out.String path);
+           ("diagnostics", Emflow.Json_out.of_diags diags);
+           ("flow", Emflow.Json_out.of_flow_result r);
+           ("layers", Emflow.Json_out.of_layer_stats layers);
+           ("fix_plan", Emflow.Json_out.of_fixer_plan plan);
+         ]
+        @
+        (* Embed the run's telemetry when it was collected, so one JSON
+           file carries both the verdicts and the run profile. *)
+        if Obs.Metrics.is_enabled () then
+          [ ("telemetry", Emflow.Json_out.of_telemetry ()) ]
+        else [])
     in
     let oc = open_out out in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () -> Emflow.Json_out.to_channel oc doc);
     Printf.printf "JSON report written to %s\n" out);
+  export_telemetry ~trace_path ~metrics_path trace;
   if diags <> [] then begin
     Format.printf "Diagnostics (%a):@." Dg.pp_summary diags;
     List.iter (fun d -> Format.printf "  %a@." Dg.pp d) diags
@@ -276,10 +346,11 @@ let analyze_cmd =
     Term.(
       ret
         (const (fun path tech sigma_t temperature with_maxpath top fix json
-                    html keep_going strict max_errors ->
+                    html keep_going strict max_errors trace_path metrics_path ->
              match
                analyze_netlist path tech sigma_t temperature with_maxpath top
-                 fix json html keep_going strict max_errors
+                 fix json html keep_going strict max_errors trace_path
+                 metrics_path
              with
              | `Ok n -> `Ok n
              | exception Spice.Parser.Parse_error { line; message } ->
@@ -288,7 +359,8 @@ let analyze_cmd =
                `Error (false, "unsupported netlist: " ^ msg)
              | exception Failure msg -> `Error (false, msg))
         $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ with_maxpath $ top
-        $ fix $ json_path $ html_path $ keep_going $ strict $ max_errors))
+        $ fix $ json_path $ html_path $ keep_going $ strict $ max_errors
+        $ trace_arg $ metrics_arg))
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -304,6 +376,97 @@ let analyze_cmd =
               errors (unparseable netlist without $(b,--keep-going), \
               exhausted $(b,--max-errors) budget, unsupported deck).";
          ])
+    term
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+
+(* Run the full pipeline with telemetry forced on and print the span and
+   metric rollups as tables — the terminal-only view of what --trace /
+   --metrics export for external tools. *)
+let stats_netlist path tech sigma_t temperature jobs trace_path metrics_path =
+  let material = material_of ~sigma_t ~temperature in
+  let trace = Obs.Trace.create () in
+  Obs.Trace.enable trace;
+  Obs.Metrics.set_enabled true;
+  let netlist = Spice.Parser.parse_file path in
+  let p = Emflow.Pipeline.create () in
+  let sol = Emflow.Pipeline.run p "solve" (fun () -> Spice.Mna.solve netlist) in
+  let compacts =
+    Emflow.Pipeline.run p "extract" (fun () ->
+        Emflow.Extract.extract_compact ~tech sol)
+  in
+  let r = Flow.run_on_compact ~material ?jobs ~pipeline:p compacts in
+  Format.printf "%a@.@." Flow.pp_summary r;
+  let span_table = Rp.create [ "span"; "count"; "total ms"; "max ms"; "errors" ] in
+  List.iter
+    (fun (a : Obs.Trace.agg) ->
+      Rp.add_row span_table
+        [
+          a.Obs.Trace.agg_name;
+          Rp.int_cell a.Obs.Trace.count;
+          Printf.sprintf "%.3f" (a.Obs.Trace.total_us /. 1e3);
+          Printf.sprintf "%.3f" (a.Obs.Trace.max_us /. 1e3);
+          Rp.int_cell a.Obs.Trace.errors;
+        ])
+    (Obs.Trace.aggregate trace);
+  Printf.printf "Span summary:\n";
+  Rp.print span_table;
+  let metric_table = Rp.create [ "metric"; "labels"; "value" ] in
+  List.iter
+    (fun (s : Obs.Metrics.sample) ->
+      let labels =
+        String.concat ","
+          (List.map (fun (k, v) -> k ^ "=" ^ v) s.Obs.Metrics.s_labels)
+      in
+      let value =
+        match s.Obs.Metrics.s_kind with
+        | "histogram" ->
+          Printf.sprintf "count=%d sum=%.6gs" s.Obs.Metrics.s_count
+            s.Obs.Metrics.s_value
+        | _ -> Printf.sprintf "%.6g" s.Obs.Metrics.s_value
+      in
+      Rp.add_row metric_table [ s.Obs.Metrics.s_name; labels; value ])
+    (Obs.Metrics.snapshot ());
+  Printf.printf "\nMetrics:\n";
+  Rp.print metric_table;
+  export_telemetry ~trace_path ~metrics_path (Some trace);
+  `Ok 0
+
+let stats_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"NETLIST" ~doc:"SPICE power-grid netlist to profile.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the analysis stage.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun path tech sigma_t temperature jobs trace_path metrics_path ->
+             match
+               stats_netlist path tech sigma_t temperature jobs trace_path
+                 metrics_path
+             with
+             | `Ok n -> `Ok n
+             | exception Spice.Parser.Parse_error { line; message } ->
+               `Error (false, Printf.sprintf "%s:%d: %s" path line message)
+             | exception Spice.Mna.Unsupported msg ->
+               `Error (false, "unsupported netlist: " ^ msg)
+             | exception Failure msg -> `Error (false, msg))
+        $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ jobs $ trace_arg
+        $ metrics_arg))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Profile a netlist analysis: span and metric summary tables")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -434,4 +597,6 @@ let () =
       ~doc:"EM immortality checking for general interconnects (DAC'21)"
   in
   exit
-    (Cmd.eval' (Cmd.group info [ analyze_cmd; wire_cmd; verify_cmd; material_cmd ]))
+    (Cmd.eval'
+       (Cmd.group info
+          [ analyze_cmd; stats_cmd; wire_cmd; verify_cmd; material_cmd ]))

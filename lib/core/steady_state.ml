@@ -1,5 +1,13 @@
 exception Degenerate of string
 
+let solves_total =
+  Obs.Metrics.counter ~help:"Steady-state solves completed" "em_solves_total"
+
+let degenerate_total =
+  Obs.Metrics.counter
+    ~help:"Steady-state solves rejected as degenerate (non-finite Q/A)"
+    "em_degenerate_solves_total"
+
 (* A structure whose total volume underflows to 0 (e.g. sub-femtometer
    cross-sections from a damaged extraction) makes Q/A = 0/0 = nan, and
    every downstream stress silently nan — which the classifiers would
@@ -7,13 +15,15 @@ exception Degenerate of string
    layer turns this into a per-structure diagnostic. *)
 let check_normalization ~volume ~q =
   let q_over_a = q /. volume in
-  if not (Float.is_finite q_over_a) then
+  if not (Float.is_finite q_over_a) then begin
+    Obs.Metrics.inc degenerate_total;
     raise
       (Degenerate
          (Printf.sprintf
             "steady-state normalization Q/A = %g/%g is not finite (all \
              segment volumes vanished or overflowed)"
-            q volume));
+            q volume))
+  end;
   q_over_a
 
 type solution = {
@@ -69,6 +79,7 @@ let solve_component material s ~reference =
       (fun bi -> if Float.is_nan bi then Float.nan else beta *. (q_over_a -. bi))
       b
   in
+  Obs.Metrics.inc solves_total;
   { reference; node_stress; blech_sum = b; volume = !volume; q = !q; beta }
 
 let solve ?reference material s =
@@ -189,6 +200,7 @@ let solve_compact ?reference ?ws material (c : Compact.t) =
   for i = 0 to n - 1 do
     stress.(i) <- beta *. (q_over_a -. b.(i))
   done;
+  Obs.Metrics.inc solves_total;
   { reference; node_stress = stress; blech_sum = b; volume = !volume; q = !q; beta }
 
 let segment_stress sol s k =

@@ -31,6 +31,40 @@ type result = {
 
 let failed_structures r = Dg.count_errors r.diags
 
+(* Flow-level telemetry handles. All updates sit behind the global
+   enabled flags (one atomic load + branch each when off). *)
+let structures_analyzed =
+  Obs.Metrics.counter ~help:"EM structures analyzed successfully"
+    "em_structures_analyzed_total"
+
+let structures_failed =
+  Obs.Metrics.counter
+    ~help:"EM structures whose analysis raised and was fault-isolated"
+    "em_structures_failed_total"
+
+let segments_classified verdict =
+  Obs.Metrics.counter
+    ~labels:[ ("verdict", verdict) ]
+    ~help:"EM segments classified by the exact immortality test"
+    "em_segments_classified_total"
+
+let segments_immortal = segments_classified "immortal"
+let segments_mortal = segments_classified "mortal"
+
+let structure_solve_seconds =
+  Obs.Metrics.histogram
+    ~help:"Per-structure analysis latency (solve + segment verdicts)"
+    "em_structure_solve_seconds"
+
+let gc_gauge which =
+  Obs.Metrics.gauge
+    ~help:"GC words allocated across the last run's pipeline stages"
+    ("em_gc_" ^ which ^ "_words")
+
+let gc_minor = gc_gauge "minor"
+let gc_major = gc_gauge "major"
+let gc_promoted = gc_gauge "promoted"
+
 (* Per-structure analysis on the columnar representation: one
    [solve_compact] through the worker's workspace, then the Blech filter
    and the exact endpoint test read the flat columns directly. The
@@ -74,6 +108,34 @@ let analyze_one material with_maxpath ws (cs : Extract.compact_structure) =
         maxpath_immortal = (if with_maxpath then maxpath.(k) else exact);
       })
 
+(* Telemetry wrapper around [analyze_one]: the whole per-structure unit
+   of work becomes a "structure" span on the worker's track (nested under
+   its "parallel.chunk" span) and one observation in the latency
+   histogram. The trace branch is guarded explicitly so the attrs list
+   is never allocated when tracing is off. *)
+let analyze_traced material with_maxpath ws index
+    (cs : Extract.compact_structure) =
+  let run () =
+    Obs.Metrics.time structure_solve_seconds (fun () ->
+        analyze_one material with_maxpath ws cs)
+  in
+  let records =
+    if Obs.Trace.enabled () then
+      let c = cs.Extract.compact in
+      Obs.Trace.with_span
+        ~attrs:
+          [
+            ("structure", Obs.Trace.Int index);
+            ("layer", Obs.Trace.Int cs.Extract.cs_layer_level);
+            ("nodes", Obs.Trace.Int (Cc.num_nodes c));
+            ("segments", Obs.Trace.Int (Cc.num_segments c));
+          ]
+        "structure" run
+    else run ()
+  in
+  Obs.Metrics.inc structures_analyzed;
+  records
+
 (* Fault isolation: one structure whose analysis threw (degenerate
    geometry, disconnected columns, a solver bug) is recorded as an error
    diagnostic naming the offender, and every other structure's analysis
@@ -110,11 +172,13 @@ let finish_run p ~material ~with_maxpath ?jobs compacts =
   let wall0 = Unix.gettimeofday () in
   let compacts_arr = Array.of_list compacts in
   let slots =
+    (* Map over indices rather than the structures themselves so each
+       worker can attach the structure's position to its span. *)
     Pipeline.run p "analyze" (fun () ->
         Numerics.Parallel.map_local_result ?jobs
           ~local:(fun () -> Ss.Workspace.create ())
-          (fun ws cs -> analyze_one material with_maxpath ws cs)
-          compacts_arr)
+          (fun ws i -> analyze_traced material with_maxpath ws i compacts_arr.(i))
+          (Array.init (Array.length compacts_arr) Fun.id))
   in
   let diags = ref [] in
   let per_structure =
@@ -123,6 +187,7 @@ let finish_run p ~material ~with_maxpath ?jobs compacts =
         match slot with
         | Ok records -> records
         | Error (e, _bt) ->
+          Obs.Metrics.inc structures_failed;
           diags := diag_of_failure i compacts_arr.(i) e :: !diags;
           [||])
       slots
@@ -132,8 +197,10 @@ let finish_run p ~material ~with_maxpath ?jobs compacts =
     Pipeline.run p "classify" (fun () ->
         let counts = ref Cl.empty in
         let maxpath_counts = ref Cl.empty in
+        let n_immortal = ref 0 and n_mortal = ref 0 in
         Array.iter
           (Array.iter (fun r ->
+               if r.exact_immortal then incr n_immortal else incr n_mortal;
                counts :=
                  Cl.add_pair !counts ~predicted_immortal:r.blech_immortal
                    ~actual_immortal:r.exact_immortal;
@@ -143,6 +210,8 @@ let finish_run p ~material ~with_maxpath ?jobs compacts =
                      ~predicted_immortal:r.maxpath_immortal
                      ~actual_immortal:r.exact_immortal))
           per_structure;
+        Obs.Metrics.inc_by segments_immortal !n_immortal;
+        Obs.Metrics.inc_by segments_mortal !n_mortal;
         let segments = Array.concat (Array.to_list per_structure) in
         (!counts, (if with_maxpath then Some !maxpath_counts else None), segments))
   in
@@ -161,6 +230,14 @@ let stage_cpu p name =
 
 let make_result p ~counts ~maxpath_counts ~segments ~num_structures
     ~analysis_time ~diags =
+  if Obs.Metrics.is_enabled () then begin
+    let sum f =
+      List.fold_left (fun acc s -> acc +. f s) 0. (Pipeline.stages p)
+    in
+    Obs.Metrics.set_gauge gc_minor (sum (fun s -> s.Pipeline.minor_words));
+    Obs.Metrics.set_gauge gc_major (sum (fun s -> s.Pipeline.major_words));
+    Obs.Metrics.set_gauge gc_promoted (sum (fun s -> s.Pipeline.promoted_words))
+  end;
   {
     counts;
     maxpath_counts;

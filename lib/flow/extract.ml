@@ -50,6 +50,14 @@ let lut_find lut level =
 
 let nm = 1e-9
 
+let structures_extracted =
+  Obs.Metrics.counter ~help:"EM structures emitted by extraction"
+    "em_structures_extracted_total"
+
+let segments_extracted =
+  Obs.Metrics.counter ~help:"EM segments emitted by extraction"
+    "em_segments_extracted_total"
+
 let extract ~tech (sol : Mna.solution) =
   let net = sol.Mna.netlist in
   (* Decode every node name once. *)
@@ -197,7 +205,11 @@ let extract ~tech (sol : Mna.solution) =
             :: !out)
         comps)
     levels;
-  List.rev !out
+  let structures = List.rev !out in
+  Obs.Metrics.inc_by structures_extracted (List.length structures);
+  Obs.Metrics.inc_by segments_extracted
+    (List.fold_left (fun acc s -> acc + St.num_segments s.structure) 0 structures);
+  structures
 
 let total_segments structures =
   List.fold_left
@@ -405,7 +417,11 @@ let extract_compact ~tech (sol : Mna.solution) =
         local.(buf.w_b.(k)) <- -1
       done
   done;
-  List.rev !out
+  let structures = List.rev !out in
+  Obs.Metrics.inc_by structures_extracted (List.length structures);
+  Obs.Metrics.inc_by segments_extracted
+    (List.fold_left (fun acc s -> acc + Cc.num_segments s.compact) 0 structures);
+  structures
 
 let total_compact_segments structures =
   List.fold_left (fun acc s -> acc + Cc.num_segments s.compact) 0 structures

@@ -83,9 +83,76 @@ let of_stage (s : Pipeline.stage) =
       ("major_words", Float s.Pipeline.major_words);
       ("promoted_words", Float s.Pipeline.promoted_words);
       ("allocated_words", Float (Pipeline.allocated_words s));
+      ("error", Bool s.Pipeline.error);
     ]
 
 let of_stages stages = List (Stdlib.List.map of_stage stages)
+
+(* -------------------------------------------------------------------- *)
+(* Telemetry                                                            *)
+
+let of_metric (s : Obs.Metrics.sample) =
+  let base =
+    [
+      ("name", String s.Obs.Metrics.s_name);
+      ("kind", String s.Obs.Metrics.s_kind);
+      ( "labels",
+        Obj (List.map (fun (k, v) -> (k, String v)) s.Obs.Metrics.s_labels) );
+    ]
+  in
+  let value =
+    match s.Obs.Metrics.s_kind with
+    | "histogram" ->
+      [
+        ("sum", Float s.Obs.Metrics.s_value);
+        ("count", Int s.Obs.Metrics.s_count);
+        ( "buckets",
+          List
+            (List.map
+               (fun (le, cum) ->
+                 Obj
+                   [
+                     (* +Inf has no JSON literal; emit it as a string. *)
+                     ( "le",
+                       if le = Float.infinity then String "+Inf" else Float le
+                     );
+                     ("count", Int cum);
+                   ])
+               s.Obs.Metrics.s_buckets) );
+      ]
+    | _ -> [ ("value", Float s.Obs.Metrics.s_value) ]
+  in
+  Obj (base @ value)
+
+let of_metrics samples = List (Stdlib.List.map of_metric samples)
+
+let of_trace_summary trace =
+  List
+    (Stdlib.List.map
+       (fun (a : Obs.Trace.agg) ->
+         Obj
+           [
+             ("name", String a.Obs.Trace.agg_name);
+             ("count", Int a.Obs.Trace.count);
+             ("total_us", Float a.Obs.Trace.total_us);
+             ("max_us", Float a.Obs.Trace.max_us);
+             ("errors", Int a.Obs.Trace.errors);
+           ])
+       (Obs.Trace.aggregate trace))
+
+let of_telemetry () =
+  let fields =
+    [ ("metrics", of_metrics (Obs.Metrics.snapshot ())) ]
+    @
+    match Obs.Trace.current () with
+    | Some trace ->
+      [
+        ("spans", Int (Obs.Trace.num_events trace));
+        ("span_summary", of_trace_summary trace);
+      ]
+    | None -> []
+  in
+  Obj fields
 
 let of_diag_source = function
   | Dg.Global -> Obj [ ("kind", String "global") ]

@@ -24,7 +24,23 @@ val of_counts : Em_core.Classify.counts -> t
 val of_stage : Pipeline.stage -> t
 
 val of_stages : Pipeline.stage list -> t
-(** Per-stage wall/CPU/allocation stats, execution order. *)
+(** Per-stage wall/CPU/allocation stats, execution order; each stage
+    carries an [error] flag (true when the stage body raised). *)
+
+val of_metric : Obs.Metrics.sample -> t
+
+val of_metrics : Obs.Metrics.sample list -> t
+(** Counters/gauges as [{name; kind; labels; value}]; histograms carry
+    [sum] / [count] / cumulative [buckets] ([le] is a number, or the
+    string ["+Inf"] for the overflow bucket). *)
+
+val of_trace_summary : Obs.Trace.t -> t
+(** {!Obs.Trace.aggregate} as a list of per-span-name rollups. *)
+
+val of_telemetry : unit -> t
+(** Snapshot of the default metrics registry plus, when a trace sink is
+    installed, its span count and per-name summary — embedded in analyze
+    reports so one JSON file carries results and run telemetry. *)
 
 val of_diag : Em_core.Diag.t -> t
 (** Object with [severity] / [code] / [source] / [message]; [severity]

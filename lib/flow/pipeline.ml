@@ -5,6 +5,7 @@ type stage = {
   minor_words : float;
   major_words : float;
   promoted_words : float;
+  error : bool;
 }
 
 let allocated_words st =
@@ -24,23 +25,38 @@ let run p name f =
   let gc0 = Gc.quick_stat () in
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
-  let result = f () in
-  let cpu1 = Sys.time () in
-  let wall1 = Unix.gettimeofday () in
-  let gc1 = Gc.quick_stat () in
-  let minor1 = Gc.minor_words () in
-  let stage =
-    {
-      name;
-      wall_s = wall1 -. wall0;
-      cpu_s = cpu1 -. cpu0;
-      minor_words = minor1 -. minor0;
-      major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
-      promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
-    }
+  let finish error =
+    let cpu1 = Sys.time () in
+    let wall1 = Unix.gettimeofday () in
+    let gc1 = Gc.quick_stat () in
+    let minor1 = Gc.minor_words () in
+    let stage =
+      {
+        name;
+        wall_s = wall1 -. wall0;
+        cpu_s = cpu1 -. cpu0;
+        minor_words = minor1 -. minor0;
+        major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+        promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
+        error;
+      }
+    in
+    p.rev_stages <- stage :: p.rev_stages
   in
-  p.rev_stages <- stage :: p.rev_stages;
-  result
+  (* The stage doubles as a telemetry span on the calling domain's
+     track (the root lane of the trace): the timing reported here and
+     the span in the exported trace are the same interval, not two
+     parallel instrumentation mechanisms. A raising stage is recorded
+     too, flagged [error] both here and on the span. *)
+  match
+    Obs.Trace.with_span ~attrs:[ ("kind", Obs.Trace.String "stage") ] name f
+  with
+  | result ->
+    finish false;
+    result
+  | exception e ->
+    finish true;
+    raise e
 
 let stages p = List.rev p.rev_stages
 
@@ -54,7 +70,8 @@ let pp_words ppf w =
 
 let pp_stage ppf s =
   Fmt.pf ppf "%-10s %8.3fs wall  %8.3fs cpu  %a alloc" s.name s.wall_s s.cpu_s
-    pp_words (allocated_words s)
+    pp_words (allocated_words s);
+  if s.error then Fmt.pf ppf "  FAILED"
 
 let pp ppf p =
   Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_stage) (stages p)

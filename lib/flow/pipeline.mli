@@ -6,6 +6,11 @@
     run spends its time and memory (solve / extract / analyze /
     classify) without hand-rolled timer plumbing at every call site.
 
+    When tracing is enabled ({!Obs.Trace.enable}), every stage is also
+    emitted as a span on the calling domain's track — the root lane of
+    the exported Chrome trace — so the stage report and the trace are
+    views of the same measurement.
+
     Timings are observational: [run] adds two [Gc.quick_stat] calls and
     two clock reads per stage, which is noise next to any stage worth
     measuring. *)
@@ -17,6 +22,7 @@ type stage = {
   minor_words : float;     (** words allocated in the minor heap *)
   major_words : float;     (** words allocated in the major heap *)
   promoted_words : float;  (** minor words that survived into the major heap *)
+  error : bool;            (** the stage body raised *)
 }
 
 val allocated_words : stage -> float
@@ -33,7 +39,9 @@ val create : unit -> t
 val run : t -> string -> (unit -> 'a) -> 'a
 (** [run p name f] executes [f ()], appends a stage named [name] with
     the measured deltas, and returns [f]'s result. Exceptions from [f]
-    propagate without recording a stage. *)
+    propagate {e after} the stage is recorded with [error = true], so a
+    failed run still reports where its time went (the corresponding
+    trace span carries the same flag). *)
 
 val stages : t -> stage list
 (** Stages in execution order. *)
@@ -41,7 +49,8 @@ val stages : t -> stage list
 val total_wall : t -> float
 
 val pp_stage : stage Fmt.t
-(** One line: name, wall, cpu, allocated words. *)
+(** One line: name, wall, cpu, allocated words; failed stages are
+    suffixed with [FAILED]. *)
 
 val pp : t Fmt.t
 (** All stages, one per line. *)

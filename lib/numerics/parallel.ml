@@ -41,9 +41,20 @@ let run_slots ~jobs ~local f xs =
          mutable buffers it holds are never shared. *)
       let state = local () in
       let lo, len = chunk ~n ~jobs w in
-      for i = lo to lo + len - 1 do
-        body state i
-      done
+      let run_chunk () =
+        for i = lo to lo + len - 1 do
+          body state i
+        done
+      in
+      if Obs.Trace.enabled () then begin
+        (* Label the lane so the trace viewer shows worker-N rather than a
+           bare domain id; worker 0 is the caller's domain ("main"). *)
+        if w > 0 then Obs.Trace.name_track (Printf.sprintf "worker-%d" w);
+        Obs.Trace.with_span
+          ~attrs:[ ("worker", Obs.Trace.Int w); ("items", Obs.Trace.Int len) ]
+          "parallel.chunk" run_chunk
+      end
+      else run_chunk ()
     in
     let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
     worker 0 ();

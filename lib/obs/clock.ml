@@ -1,0 +1,13 @@
+(* The clamp is a CAS loop on the last value handed out: a reading older
+   than an already-published one is replaced by that published value, so
+   time never runs backwards even when the wall clock does. *)
+
+let last = Atomic.make 0.
+
+let rec publish t =
+  let prev = Atomic.get last in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last prev t then t
+  else publish t
+
+let now_us () = publish (Unix.gettimeofday () *. 1e6)

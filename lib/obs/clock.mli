@@ -1,0 +1,11 @@
+(** Monotonic telemetry clock.
+
+    [Unix.gettimeofday] can step backwards under NTP adjustment, which
+    would give spans negative durations and make Chrome-trace events
+    overlap incorrectly. This clock clamps the wall clock to be
+    non-decreasing across all domains: two reads [a] then [b] (in any
+    domains, in real-time order) satisfy [a <= b]. *)
+
+val now_us : unit -> float
+(** Current time in microseconds since the Unix epoch, monotonically
+    non-decreasing process-wide. *)

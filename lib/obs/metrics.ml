@@ -1,0 +1,306 @@
+(* The one global every update reads: one atomic load, one branch. *)
+let enabled_flag = Atomic.make false
+
+let set_enabled b = Atomic.set enabled_flag b
+
+let is_enabled () = Atomic.get enabled_flag
+
+let with_enabled b f =
+  let prev = Atomic.get enabled_flag in
+  Atomic.set enabled_flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag prev) f
+
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type histogram = {
+  bounds : float array;           (* finite upper bounds, increasing *)
+  bcounts : int Atomic.t array;   (* per-bucket (non-cumulative); last = +Inf *)
+  hsum : float Atomic.t;
+}
+
+type data = C of counter | G of gauge | H of histogram
+
+type entry = {
+  e_name : string;
+  e_help : string;
+  e_labels : (string * string) list;
+  e_data : data;
+}
+
+type t = { mu : Mutex.t; mutable rev_entries : entry list }
+
+let create () = { mu = Mutex.create (); rev_entries = [] }
+
+let default = create ()
+
+let kind_of = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+(* Idempotent registration keyed on (name, labels): module-initialization
+   order of the instrumented libraries must not matter, and tests may
+   re-register the same metric. *)
+let register registry ~name ~help ~labels make =
+  Mutex.lock registry.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.mu)
+    (fun () ->
+      let key_labels = List.sort compare labels in
+      match
+        List.find_opt
+          (fun e ->
+            String.equal e.e_name name
+            && List.sort compare e.e_labels = key_labels)
+          registry.rev_entries
+      with
+      | Some e -> e.e_data
+      | None ->
+        let data = make () in
+        registry.rev_entries <-
+          { e_name = name; e_help = help; e_labels = labels; e_data = data }
+          :: registry.rev_entries;
+        data)
+
+let counter ?(registry = default) ?(labels = []) ~help name =
+  match register registry ~name ~help ~labels (fun () -> C (Atomic.make 0)) with
+  | C c -> c
+  | d ->
+    invalid_arg
+      (Printf.sprintf "Metrics.counter: %s is already a %s" name (kind_of d))
+
+let inc c = if Atomic.get enabled_flag then Atomic.incr c
+
+let inc_by c n =
+  if Atomic.get enabled_flag && n > 0 then ignore (Atomic.fetch_and_add c n)
+
+let counter_value c = Atomic.get c
+
+let gauge ?(registry = default) ?(labels = []) ~help name =
+  match register registry ~name ~help ~labels (fun () -> G (Atomic.make 0.)) with
+  | G g -> g
+  | d ->
+    invalid_arg
+      (Printf.sprintf "Metrics.gauge: %s is already a %s" name (kind_of d))
+
+let set_gauge g v = if Atomic.get enabled_flag then Atomic.set g v
+
+let gauge_value g = Atomic.get g
+
+let default_latency_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+
+let histogram ?(registry = default) ?(labels = [])
+    ?(buckets = default_latency_buckets) ~help name =
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Metrics.histogram: non-finite bucket bound";
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: bucket bounds must be increasing")
+    buckets;
+  let make () =
+    H
+      {
+        bounds = Array.copy buckets;
+        bcounts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+        hsum = Atomic.make 0.;
+      }
+  in
+  match register registry ~name ~help ~labels make with
+  | H h -> h
+  | d ->
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %s is already a %s" name (kind_of d))
+
+let rec atomic_add_float a x =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (v +. x)) then atomic_add_float a x
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    (* Bucket bounds are inclusive upper limits; the final slot is the
+       implicit +Inf bucket (NaN also lands there rather than being
+       silently dropped — a NaN observation is a bug worth seeing). *)
+    let n = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < n && v > h.bounds.(!i) do
+      incr i
+    done;
+    Atomic.incr h.bcounts.(!i);
+    atomic_add_float h.hsum v
+  end
+
+let time h f =
+  if Atomic.get enabled_flag then begin
+    let t0 = Clock.now_us () in
+    let result = f () in
+    observe h ((Clock.now_us () -. t0) *. 1e-6);
+    result
+  end
+  else f ()
+
+let histogram_count h =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.bcounts
+
+let histogram_sum h = Atomic.get h.hsum
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+type sample = {
+  s_name : string;
+  s_kind : string;
+  s_help : string;
+  s_labels : (string * string) list;
+  s_value : float;
+  s_count : int;
+  s_buckets : (float * int) list;
+}
+
+let sample_of_entry e =
+  let base =
+    {
+      s_name = e.e_name;
+      s_kind = kind_of e.e_data;
+      s_help = e.e_help;
+      s_labels = e.e_labels;
+      s_value = 0.;
+      s_count = 0;
+      s_buckets = [];
+    }
+  in
+  match e.e_data with
+  | C c -> { base with s_value = float_of_int (Atomic.get c) }
+  | G g -> { base with s_value = Atomic.get g }
+  | H h ->
+    let cum = ref 0 in
+    let buckets =
+      List.init
+        (Array.length h.bcounts)
+        (fun i ->
+          cum := !cum + Atomic.get h.bcounts.(i);
+          let le =
+            if i < Array.length h.bounds then h.bounds.(i) else Float.infinity
+          in
+          (le, !cum))
+    in
+    { base with s_value = Atomic.get h.hsum; s_count = !cum; s_buckets = buckets }
+
+let entries registry =
+  Mutex.lock registry.mu;
+  let es = List.rev registry.rev_entries in
+  Mutex.unlock registry.mu;
+  es
+
+let snapshot ?(registry = default) () = List.map sample_of_entry (entries registry)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let format_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else begin
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+  end
+
+let add_labels buf labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let add_sample_lines buf (s : sample) =
+  match s.s_kind with
+  | "histogram" ->
+    List.iter
+      (fun (le, cum) ->
+        Buffer.add_string buf s.s_name;
+        Buffer.add_string buf "_bucket";
+        let le_str =
+          if le = Float.infinity then "+Inf" else format_float le
+        in
+        add_labels buf (s.s_labels @ [ ("le", le_str) ]);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int cum);
+        Buffer.add_char buf '\n')
+      s.s_buckets;
+    Buffer.add_string buf s.s_name;
+    Buffer.add_string buf "_sum";
+    add_labels buf s.s_labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (format_float s.s_value);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf s.s_name;
+    Buffer.add_string buf "_count";
+    add_labels buf s.s_labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int s.s_count);
+    Buffer.add_char buf '\n'
+  | _ ->
+    Buffer.add_string buf s.s_name;
+    add_labels buf s.s_labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (format_float s.s_value);
+    Buffer.add_char buf '\n'
+
+let to_prometheus ?(registry = default) () =
+  let samples = snapshot ~registry () in
+  (* Prometheus requires all samples of a family to be contiguous:
+     group by name, keeping the order of first registration. *)
+  let buf = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem seen s.s_name) then begin
+        Hashtbl.add seen s.s_name ();
+        let family =
+          List.filter (fun s' -> String.equal s'.s_name s.s_name) samples
+        in
+        Buffer.add_string buf "# HELP ";
+        Buffer.add_string buf s.s_name;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (escape_help s.s_help);
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf "# TYPE ";
+        Buffer.add_string buf s.s_name;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf s.s_kind;
+        Buffer.add_char buf '\n';
+        List.iter (add_sample_lines buf) family
+      end)
+    samples;
+  Buffer.contents buf

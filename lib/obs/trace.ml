@@ -1,0 +1,260 @@
+type value = Bool of bool | Int of int | Float of float | String of string
+
+type event = {
+  id : int;
+  parent : int option;
+  name : string;
+  track : int;
+  start_us : float;
+  dur_us : float;
+  error : bool;
+  attrs : (string * value) list;
+}
+
+type t = {
+  epoch_us : float;
+  mutex : Mutex.t;
+  mutable rev_events : event list;
+  mutable named_tracks : (int * string) list;
+  next_id : int Atomic.t;
+}
+
+let create () =
+  {
+    epoch_us = Clock.now_us ();
+    mutex = Mutex.create ();
+    rev_events = [];
+    named_tracks = [];
+    next_id = Atomic.make 0;
+  }
+
+(* The one global the fast path reads: one atomic load, one branch. *)
+let state : t option Atomic.t = Atomic.make None
+
+let enabled () = Atomic.get state <> None
+
+let current () = Atomic.get state
+
+let track () = (Domain.self () :> int)
+
+let name_track name =
+  match Atomic.get state with
+  | None -> ()
+  | Some t ->
+    let id = track () in
+    Mutex.lock t.mutex;
+    if not (List.mem_assoc id t.named_tracks) then
+      t.named_tracks <- (id, name) :: t.named_tracks;
+    Mutex.unlock t.mutex
+
+let enable t =
+  Atomic.set state (Some t);
+  name_track "main"
+
+let disable () = Atomic.set state None
+
+let with_enabled t f =
+  let prev = Atomic.get state in
+  Atomic.set state (Some t);
+  name_track "main";
+  Fun.protect ~finally:(fun () -> Atomic.set state prev) f
+
+(* Per-domain stack of open span ids: parents are resolved within a
+   domain only, so a worker's spans start a fresh hierarchy on its own
+   track instead of dangling from whatever the spawning domain had
+   open. *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let record t e =
+  Mutex.lock t.mutex;
+  t.rev_events <- e :: t.rev_events;
+  Mutex.unlock t.mutex
+
+let with_span ?(attrs = []) name f =
+  match Atomic.get state with
+  | None -> f ()
+  | Some t ->
+    let id = Atomic.fetch_and_add t.next_id 1 in
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
+    stack := id :: !stack;
+    let tr = track () in
+    let start_us = Clock.now_us () in
+    let finish error =
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      record t
+        {
+          id;
+          parent;
+          name;
+          track = tr;
+          start_us;
+          dur_us = Clock.now_us () -. start_us;
+          error;
+          attrs;
+        }
+    in
+    (match f () with
+    | v ->
+      finish false;
+      v
+    | exception e ->
+      finish true;
+      raise e)
+
+let events t =
+  Mutex.lock t.mutex;
+  let es = t.rev_events in
+  Mutex.unlock t.mutex;
+  List.sort
+    (fun a b ->
+      match Float.compare a.start_us b.start_us with
+      | 0 -> compare a.id b.id
+      | c -> c)
+    es
+
+let num_events t =
+  Mutex.lock t.mutex;
+  let n = List.length t.rev_events in
+  Mutex.unlock t.mutex;
+  n
+
+let track_names t =
+  Mutex.lock t.mutex;
+  let ns = t.named_tracks in
+  Mutex.unlock t.mutex;
+  List.rev ns
+
+let epoch_us t = t.epoch_us
+
+type agg = {
+  agg_name : string;
+  count : int;
+  total_us : float;
+  max_us : float;
+  errors : int;
+}
+
+let aggregate t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let a =
+        match Hashtbl.find_opt tbl e.name with
+        | Some a -> a
+        | None ->
+          order := e.name :: !order;
+          { agg_name = e.name; count = 0; total_us = 0.; max_us = 0.; errors = 0 }
+      in
+      Hashtbl.replace tbl e.name
+        {
+          a with
+          count = a.count + 1;
+          total_us = a.total_us +. e.dur_us;
+          max_us = Float.max a.max_us e.dur_us;
+          errors = (a.errors + (if e.error then 1 else 0));
+        })
+    (events t);
+  List.rev_map (Hashtbl.find tbl) !order
+  |> List.sort (fun a b -> Float.compare b.total_us a.total_us)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export (self-contained JSON emission: Obs sits
+   below the flow layer and cannot use its Json_out). *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_json_float buf f =
+  if Float.is_finite f then begin
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then Buffer.add_string buf short
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  end
+  else Buffer.add_string buf "null"
+
+let add_value buf = function
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_json_float buf f
+  | String s -> add_json_string buf s
+
+let add_event buf ~epoch e =
+  Buffer.add_string buf "{\"ph\":\"X\",\"pid\":0,\"tid\":";
+  Buffer.add_string buf (string_of_int e.track);
+  Buffer.add_string buf ",\"name\":";
+  add_json_string buf e.name;
+  Buffer.add_string buf ",\"cat\":\"em\",\"ts\":";
+  add_json_float buf (e.start_us -. epoch);
+  Buffer.add_string buf ",\"dur\":";
+  add_json_float buf e.dur_us;
+  Buffer.add_string buf ",\"args\":{\"span_id\":";
+  Buffer.add_string buf (string_of_int e.id);
+  (match e.parent with
+  | Some p ->
+    Buffer.add_string buf ",\"parent_id\":";
+    Buffer.add_string buf (string_of_int p)
+  | None -> ());
+  Buffer.add_string buf ",\"error\":";
+  Buffer.add_string buf (if e.error then "true" else "false");
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_value buf v)
+    e.attrs;
+  Buffer.add_string buf "}}"
+
+let add_thread_name buf (tid, name) =
+  Buffer.add_string buf "{\"ph\":\"M\",\"pid\":0,\"tid\":";
+  Buffer.add_string buf (string_of_int tid);
+  Buffer.add_string buf ",\"name\":\"thread_name\",\"args\":{\"name\":";
+  add_json_string buf name;
+  Buffer.add_string buf "}}"
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ','
+  in
+  sep ();
+  Buffer.add_string buf
+    "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"blech\"}}";
+  List.iter
+    (fun tn ->
+      sep ();
+      add_thread_name buf tn)
+    (track_names t);
+  List.iter
+    (fun e ->
+      sep ();
+      add_event buf ~epoch:t.epoch_us e)
+    (events t);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write_chrome path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_chrome_json t);
+      output_char oc '\n')

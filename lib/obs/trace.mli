@@ -1,0 +1,107 @@
+(** Hierarchical tracing with per-domain tracks and Chrome trace-event
+    export.
+
+    A trace is a buffer of completed {e spans}: named, timed intervals
+    with attributes, a parent link (the span that was open on the same
+    domain when this one started), and a {e track} — the domain the span
+    ran on, so parallel workers render as separate lanes in a trace
+    viewer. The exporter writes the Chrome trace-event JSON format,
+    loadable in Perfetto ({:https://ui.perfetto.dev}) or
+    [chrome://tracing].
+
+    Tracing is off by default and gated by one global flag: with no
+    trace installed, {!with_span} costs a single atomic load and branch
+    and allocates nothing — cheap enough to leave in per-structure hot
+    paths (verified by [bench/main.exe obs]). Install a sink with
+    {!enable} / {!with_enabled}.
+
+    Thread model: spans may complete concurrently on any domain
+    (the buffer is mutex-protected); the enable/disable flip itself is
+    meant to happen from one controlling domain while no spans are
+    open. *)
+
+type value = Bool of bool | Int of int | Float of float | String of string
+(** Attribute values; rendered into the Chrome event's [args]. *)
+
+type event = {
+  id : int;            (** unique per trace, allocation order *)
+  parent : int option; (** enclosing span on the same domain, if any *)
+  name : string;
+  track : int;         (** domain id the span ran on *)
+  start_us : float;    (** {!Clock.now_us} at span start *)
+  dur_us : float;      (** duration, >= 0 *)
+  error : bool;        (** the span body raised *)
+  attrs : (string * value) list;
+}
+
+type t
+(** A trace buffer (sink) of completed spans. *)
+
+val create : unit -> t
+
+val enable : t -> unit
+(** Install [t] as the process-wide sink and name the calling domain's
+    track ["main"]. Subsequent {!with_span} calls record into it. *)
+
+val disable : unit -> unit
+(** Remove the sink; {!with_span} returns to its no-op fast path. *)
+
+val enabled : unit -> bool
+
+val current : unit -> t option
+(** The installed sink, if any. *)
+
+val with_enabled : t -> (unit -> 'a) -> 'a
+(** [with_enabled t f] runs [f] with [t] installed, restoring the
+    previously installed sink (or none) afterwards, also on exceptions. *)
+
+val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()]; when tracing is enabled, the call is
+    recorded as a completed span on the calling domain's track, nested
+    under the innermost open span of that domain. If [f] raises, the
+    span is recorded with [error = true] and the exception propagates.
+    When tracing is disabled this is [f ()] plus one branch. *)
+
+val track : unit -> int
+(** The calling domain's track id ([Domain.self] as an integer). *)
+
+val name_track : string -> unit
+(** Label the calling domain's track in the exported trace (e.g.
+    ["worker-3"]). First call wins; no-op when tracing is disabled. *)
+
+(** {1 Inspection} *)
+
+val events : t -> event list
+(** Completed spans, sorted by start time (ties by id). *)
+
+val num_events : t -> int
+
+val track_names : t -> (int * string) list
+
+val epoch_us : t -> float
+(** {!Clock.now_us} when the trace was created; exported timestamps are
+    relative to it. *)
+
+type agg = {
+  agg_name : string;
+  count : int;
+  total_us : float;
+  max_us : float;
+  errors : int;
+}
+
+val aggregate : t -> agg list
+(** Per-span-name totals, ordered by descending [total_us]. *)
+
+(** {1 Export} *)
+
+val to_chrome_json : t -> string
+(** The whole trace as a Chrome trace-event JSON object:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with one complete
+    ("ph":"X") event per span (timestamps in microseconds relative to
+    {!epoch_us}; [args] carries the attributes plus [span_id] /
+    [parent_id] / [error]) and thread-name metadata records for named
+    tracks. *)
+
+val write_chrome : string -> t -> unit
+(** [write_chrome path t] writes {!to_chrome_json} to [path]. *)

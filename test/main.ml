@@ -12,4 +12,5 @@ let () =
          T_spice.suites;
          T_pdn.suites;
          T_flow.suites;
+         T_obs.suites;
        ])

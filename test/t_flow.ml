@@ -174,6 +174,26 @@ let test_flow_stages_recorded () =
         (Emflow.Pipeline.allocated_words s >= 0.))
     r.Flow.stages
 
+let test_pipeline_records_failed_stage () =
+  let p = Emflow.Pipeline.create () in
+  let stage_ran = ref false in
+  (try
+     Emflow.Pipeline.run p "ok" (fun () -> stage_ran := true);
+     ignore (Emflow.Pipeline.run p "boom" (fun () -> failwith "nope"));
+     Alcotest.fail "expected the stage exception to propagate"
+   with Failure m -> Alcotest.(check string) "original exception" "nope" m);
+  Alcotest.(check bool) "first stage ran" true !stage_ran;
+  match Emflow.Pipeline.stages p with
+  | [ ok; boom ] ->
+    Alcotest.(check string) "first stage name" "ok" ok.Emflow.Pipeline.name;
+    Alcotest.(check bool) "first stage clean" false ok.Emflow.Pipeline.error;
+    Alcotest.(check string) "failed stage still recorded" "boom"
+      boom.Emflow.Pipeline.name;
+    Alcotest.(check bool) "failed stage flagged" true boom.Emflow.Pipeline.error;
+    Alcotest.(check bool) "failed stage timed" true
+      (boom.Emflow.Pipeline.wall_s >= 0.)
+  | ss -> Alcotest.failf "expected 2 stages, got %d" (List.length ss)
+
 (* ---------------------------------------------------------------- *)
 (* Em_flow                                                           *)
 
@@ -561,7 +581,14 @@ let test_json_flow_result () =
   for i = 0 to String.length s - String.length expect do
     if String.sub s i (String.length expect) = expect then found := true
   done;
-  Alcotest.(check bool) "segment count serialized" true !found
+  Alcotest.(check bool) "segment count serialized" true !found;
+  (* Stages carry their error flag (all clean on this run). *)
+  let expect = {|"error":false|} in
+  let found = ref false in
+  for i = 0 to String.length s - String.length expect do
+    if String.sub s i (String.length expect) = expect then found := true
+  done;
+  Alcotest.(check bool) "stage error flag serialized" true !found
 
 
 (* ---------------------------------------------------------------- *)
@@ -978,6 +1005,7 @@ let suites =
         case "zero current => all immortal" test_flow_zero_current_all_immortal;
         case "parallel matches sequential" test_flow_parallel_matches_sequential;
         case "pipeline stages recorded" test_flow_stages_recorded;
+        case "pipeline records failed stage" test_pipeline_records_failed_stage;
       ] );
     ( "flow.fault_isolation",
       [

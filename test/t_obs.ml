@@ -1,0 +1,473 @@
+open T_helpers
+module Tr = Obs.Trace
+module Mx = Obs.Metrics
+module Gg = Pdn.Grid_gen
+module Ex = Emflow.Extract
+module Flow = Emflow.Em_flow
+
+(* ---------------------------------------------------------------- *)
+(* Trace: spans                                                      *)
+
+let test_span_disabled_noop () =
+  Alcotest.(check bool) "tracing off by default" false (Tr.enabled ());
+  Alcotest.(check int) "with_span is the identity" 42
+    (Tr.with_span "x" (fun () -> 42));
+  (* An exception still propagates untouched. *)
+  match Tr.with_span "x" (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected raise"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+
+let find_span evs name =
+  match List.find_opt (fun (e : Tr.event) -> e.Tr.name = name) evs with
+  | Some e -> e
+  | None -> Alcotest.failf "span %s not recorded" name
+
+let test_span_nesting () =
+  let t = Tr.create () in
+  let result =
+    Tr.with_enabled t (fun () ->
+        Tr.with_span "outer" (fun () ->
+            Tr.with_span "first" (fun () -> ());
+            Tr.with_span "second" (fun () -> 7)))
+  in
+  Alcotest.(check int) "result passes through" 7 result;
+  Alcotest.(check bool) "sink uninstalled afterwards" false (Tr.enabled ());
+  let evs = Tr.events t in
+  Alcotest.(check int) "three spans" 3 (List.length evs);
+  let outer = find_span evs "outer" in
+  let first = find_span evs "first" in
+  let second = find_span evs "second" in
+  Alcotest.(check bool) "outer is a root" true (outer.Tr.parent = None);
+  Alcotest.(check bool) "first nested under outer" true
+    (first.Tr.parent = Some outer.Tr.id);
+  Alcotest.(check bool) "second nested under outer, not first" true
+    (second.Tr.parent = Some outer.Tr.id);
+  (* Same domain throughout. *)
+  List.iter
+    (fun (e : Tr.event) ->
+      Alcotest.(check int) "one track" outer.Tr.track e.Tr.track)
+    evs;
+  (* Temporal containment and ordering (the clock is monotonic, so the
+     inequalities are exact, not approximate). *)
+  let ends (e : Tr.event) = e.Tr.start_us +. e.Tr.dur_us in
+  Alcotest.(check bool) "children start after outer" true
+    (first.Tr.start_us >= outer.Tr.start_us
+    && second.Tr.start_us >= outer.Tr.start_us);
+  Alcotest.(check bool) "children end before outer" true
+    (ends first <= ends outer && ends second <= ends outer);
+  Alcotest.(check bool) "siblings ordered" true
+    (second.Tr.start_us >= ends first);
+  (* [events] sorts by start time: outer comes first. *)
+  match evs with
+  | e :: _ -> Alcotest.(check string) "outer sorted first" "outer" e.Tr.name
+  | [] -> assert false
+
+let test_span_error_flag () =
+  let t = Tr.create () in
+  (match
+     Tr.with_enabled t (fun () ->
+         Tr.with_span "outer" (fun () ->
+             Tr.with_span "boom" (fun () -> failwith "kaput")))
+   with
+  | () -> Alcotest.fail "expected raise"
+  | exception Failure _ -> ());
+  let evs = Tr.events t in
+  Alcotest.(check int) "both spans recorded" 2 (List.length evs);
+  Alcotest.(check bool) "inner flagged" true (find_span evs "boom").Tr.error;
+  (* The outer span did not catch, so it raised too. *)
+  Alcotest.(check bool) "outer flagged" true (find_span evs "outer").Tr.error;
+  let aggs = Tr.aggregate t in
+  let boom = List.find (fun (a : Tr.agg) -> a.Tr.agg_name = "boom") aggs in
+  Alcotest.(check int) "aggregate counts the error" 1 boom.Tr.errors
+
+let test_parallel_tracks () =
+  let t = Tr.create () in
+  let doubled =
+    Tr.with_enabled t (fun () ->
+        Numerics.Parallel.map ~jobs:4 (fun x -> 2 * x) (Array.init 16 Fun.id))
+  in
+  Alcotest.(check bool) "map result intact" true
+    (Array.for_all2 ( = ) doubled (Array.init 16 (fun i -> 2 * i)));
+  let chunks =
+    List.filter (fun (e : Tr.event) -> e.Tr.name = "parallel.chunk") (Tr.events t)
+  in
+  Alcotest.(check int) "one chunk span per worker" 4 (List.length chunks);
+  let tracks =
+    List.sort_uniq compare (List.map (fun (e : Tr.event) -> e.Tr.track) chunks)
+  in
+  Alcotest.(check int) "workers on distinct tracks" 4 (List.length tracks);
+  let names = List.map snd (Tr.track_names t) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " track named") true (List.mem n names))
+    [ "main"; "worker-1"; "worker-2"; "worker-3" ]
+
+(* ---------------------------------------------------------------- *)
+(* Trace: Chrome export                                              *)
+
+(* Minimal JSON acceptor — syntax validation only, enough to catch a
+   malformed exporter (bad escaping, trailing commas, bare NaN) without
+   an external parser dependency. *)
+let json_accepts s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    match peek () with
+    | Some c ->
+      incr pos;
+      c
+    | None -> raise Exit
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if next () <> c then raise Exit in
+  let literal lit = String.iter expect lit in
+  let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match next () with
+      | '"' -> ()
+      | '\\' -> begin
+        match next () with
+        | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> go ()
+        | 'u' ->
+          for _ = 1 to 4 do
+            if not (is_hex (next ())) then raise Exit
+          done;
+          go ()
+        | _ -> raise Exit
+      end
+      | c when Char.code c < 0x20 -> raise Exit
+      | _ -> go ()
+    in
+    go ()
+  in
+  let number () =
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          incr pos;
+          saw := true;
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then raise Exit
+    in
+    if peek () = Some '-' then incr pos;
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise Exit
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | _ -> raise Exit
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match next () with
+        | ',' -> elements ()
+        | ']' -> ()
+        | _ -> raise Exit
+      in
+      elements ()
+  in
+  match
+    value ();
+    skip_ws ()
+  with
+  | () -> !pos = n
+  | exception Exit -> false
+
+let contains hay needle =
+  let n = String.length needle in
+  let found = ref false in
+  for i = 0 to String.length hay - n do
+    if String.sub hay i n = needle then found := true
+  done;
+  !found
+
+let test_json_acceptor_sanity () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("accepts " ^ s) true (json_accepts s))
+    [
+      "{}"; "[]"; {|{"a":[1,-2.5e3,true,null,"x\né"]}|}; "3"; {|"s"|};
+    ];
+  List.iter
+    (fun s -> Alcotest.(check bool) ("rejects " ^ s) false (json_accepts s))
+    [ ""; "{"; "[1,]"; {|{"a":}|}; "NaN"; "[1] trailing"; {|{"a" 1}|} ]
+
+let test_chrome_export () =
+  let t = Tr.create () in
+  (match
+     Tr.with_enabled t (fun () ->
+         Tr.with_span
+           ~attrs:
+             [
+               ("structure", Tr.Int 3);
+               ("note", Tr.String "quote\" backslash\\ newline\n");
+               ("ratio", Tr.Float 0.5);
+               ("ok", Tr.Bool true);
+             ]
+           "outer"
+           (fun () -> Tr.with_span "inner" (fun () -> failwith "x")))
+   with
+  | () -> Alcotest.fail "expected raise"
+  | exception Failure _ -> ());
+  let json = Tr.to_chrome_json t in
+  Alcotest.(check bool) "well-formed JSON" true (json_accepts json);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains json needle))
+    [
+      {|"traceEvents"|}; {|"displayTimeUnit"|}; {|"ph":"X"|}; {|"ph":"M"|};
+      {|"name":"outer"|}; {|"name":"inner"|}; {|"structure":3|};
+      {|"error":true|}; "quote\\\" backslash\\\\ newline\\n";
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Metrics                                                           *)
+
+let test_counter_basics () =
+  let r = Mx.create () in
+  let c = Mx.counter ~registry:r ~help:"h" "t_obs_c_total" in
+  Mx.inc c;
+  Alcotest.(check int) "disabled inc is a no-op" 0 (Mx.counter_value c);
+  Mx.with_enabled true (fun () ->
+      Mx.inc c;
+      Mx.inc_by c 4;
+      Mx.inc_by c (-3));
+  Alcotest.(check int) "inc + inc_by, negative ignored" 5 (Mx.counter_value c);
+  (* Same (name, labels) returns the same handle. *)
+  let c' = Mx.counter ~registry:r ~help:"h" "t_obs_c_total" in
+  Mx.with_enabled true (fun () -> Mx.inc c');
+  Alcotest.(check int) "idempotent registration" 6 (Mx.counter_value c);
+  (* Same name as a different kind is a registration error. *)
+  check_raises_invalid "kind mismatch" (fun () ->
+      Mx.gauge ~registry:r ~help:"h" "t_obs_c_total")
+
+let test_gauge_basics () =
+  let r = Mx.create () in
+  let g = Mx.gauge ~registry:r ~help:"h" "t_obs_g" in
+  Mx.set_gauge g 3.5;
+  Alcotest.(check (float 0.)) "disabled set is a no-op" 0. (Mx.gauge_value g);
+  Mx.with_enabled true (fun () -> Mx.set_gauge g 3.5);
+  Alcotest.(check (float 0.)) "set" 3.5 (Mx.gauge_value g)
+
+let test_histogram_buckets () =
+  let r = Mx.create () in
+  let h =
+    Mx.histogram ~registry:r ~buckets:[| 1.; 2.; 5. |] ~help:"h" "t_obs_h"
+  in
+  Mx.with_enabled true (fun () ->
+      List.iter (Mx.observe h) [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.0 ]);
+  Alcotest.(check int) "count" 6 (Mx.histogram_count h);
+  Alcotest.(check (float 1e-12)) "sum" 17.0 (Mx.histogram_sum h);
+  match Mx.snapshot ~registry:r () with
+  | [ s ] ->
+    (* Upper bounds are inclusive and cumulative: 1.0 lands in le=1. *)
+    Alcotest.(check (list (pair (float 0.) int)))
+      "cumulative buckets"
+      [ (1., 2); (2., 4); (5., 5); (Float.infinity, 6) ]
+      s.Mx.s_buckets;
+    Alcotest.(check int) "sample count" 6 s.Mx.s_count
+  | ss -> Alcotest.failf "expected 1 sample, got %d" (List.length ss)
+
+let test_histogram_bad_buckets () =
+  let r = Mx.create () in
+  check_raises_invalid "unsorted" (fun () ->
+      Mx.histogram ~registry:r ~buckets:[| 2.; 1. |] ~help:"h" "t_obs_bad");
+  check_raises_invalid "non-finite" (fun () ->
+      Mx.histogram ~registry:r
+        ~buckets:[| 1.; Float.infinity |]
+        ~help:"h" "t_obs_bad2")
+
+let test_prometheus_exposition () =
+  let r = Mx.create () in
+  let c =
+    Mx.counter ~registry:r
+      ~labels:[ ("verdict", {|a"b\c|} ^ "\nd") ]
+      ~help:"Help with \\ backslash\nand newline" "t_obs_esc_total"
+  in
+  let h =
+    Mx.histogram ~registry:r ~buckets:[| 1.; 2.; 5. |] ~help:"lat" "t_obs_h"
+  in
+  Mx.with_enabled true (fun () ->
+      Mx.inc c;
+      List.iter (Mx.observe h) [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.0 ]);
+  let text = Mx.to_prometheus ~registry:r () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ String.escaped needle) true
+        (contains text needle))
+    [
+      "# TYPE t_obs_esc_total counter";
+      "# HELP t_obs_esc_total Help with \\\\ backslash\\nand newline";
+      {|t_obs_esc_total{verdict="a\"b\\c\nd"} 1|};
+      "# TYPE t_obs_h histogram";
+      {|t_obs_h_bucket{le="1"} 2|};
+      {|t_obs_h_bucket{le="2"} 4|};
+      {|t_obs_h_bucket{le="5"} 5|};
+      {|t_obs_h_bucket{le="+Inf"} 6|};
+      "t_obs_h_sum 17";
+      "t_obs_h_count 6";
+    ];
+  (* Exposition ends with a newline (required by the format). *)
+  Alcotest.(check bool) "trailing newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n')
+
+let test_metrics_json () =
+  let r = Mx.create () in
+  let h = Mx.histogram ~registry:r ~buckets:[| 1. |] ~help:"h" "t_obs_jh" in
+  Mx.with_enabled true (fun () -> Mx.observe h 0.5);
+  let json =
+    Emflow.Json_out.to_string (Emflow.Json_out.of_metrics (Mx.snapshot ~registry:r ()))
+  in
+  Alcotest.(check bool) "valid json" true (json_accepts json);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains json needle))
+    [ {|"name":"t_obs_jh"|}; {|"kind":"histogram"|}; {|"le":"+Inf"|}; {|"count":1|} ]
+
+(* ---------------------------------------------------------------- *)
+(* Equivalence: telemetry on leaves analysis results bit-identical    *)
+
+let small_grid () =
+  Gg.generate
+    {
+      Gg.tech = Pdn.Tech.ibm_like;
+      die_width = 1.5e-3;
+      die_height = 1.5e-3;
+      stripe_counts = [| 14; 10; 6; 4 |];
+      pad_every = 4;
+      load_fraction = 0.4;
+      current_per_net = 1.0;
+      bottom_tap_pitch = None;
+      voltage_domains = 1;
+      seed = 23L;
+    }
+
+(* Baseline computed with all telemetry off; solving the grid once keeps
+   the property fast. *)
+let equiv_fixture =
+  lazy
+    (let g = small_grid () in
+     let sol = Spice.Mna.solve g.Gg.netlist in
+     let compacts = Ex.extract_compact ~tech:g.Gg.tech sol in
+     (compacts, Flow.run_on_compact compacts))
+
+let bits = Int64.bits_of_float
+
+let check_segments_bit_identical clean dirty =
+  Alcotest.(check int) "same number of segment records" (Array.length clean)
+    (Array.length dirty);
+  Array.iteri
+    (fun i (c : Flow.segment_record) ->
+      let d = dirty.(i) in
+      let same =
+        c.Flow.layer = d.Flow.layer
+        && bits c.Flow.length = bits d.Flow.length
+        && bits c.Flow.j = bits d.Flow.j
+        && bits c.Flow.stress_tail = bits d.Flow.stress_tail
+        && bits c.Flow.stress_head = bits d.Flow.stress_head
+        && c.Flow.blech_immortal = d.Flow.blech_immortal
+        && c.Flow.exact_immortal = d.Flow.exact_immortal
+        && c.Flow.maxpath_immortal = d.Flow.maxpath_immortal
+      in
+      if not same then Alcotest.failf "segment record %d differs" i)
+    clean
+
+let test_telemetry_equivalence =
+  qcheck ~count:8 "tracing + metrics leave analysis results bit-identical"
+    QCheck2.Gen.(int_range 1 4)
+    (fun jobs ->
+      let compacts, clean = Lazy.force equiv_fixture in
+      let t = Tr.create () in
+      let traced =
+        Mx.with_enabled true (fun () ->
+            Tr.with_enabled t (fun () -> Flow.run_on_compact ~jobs compacts))
+      in
+      Alcotest.(check bool) "confusion counts identical" true
+        (clean.Flow.counts = traced.Flow.counts);
+      check_segments_bit_identical clean.Flow.segments traced.Flow.segments;
+      (* And the run actually got traced: one span per structure. *)
+      let structure_spans =
+        List.filter (fun (e : Tr.event) -> e.Tr.name = "structure") (Tr.events t)
+      in
+      Alcotest.(check int) "one span per structure" (List.length compacts)
+        (List.length structure_spans);
+      List.length compacts = List.length structure_spans)
+
+let suites =
+  [
+    ( "obs.trace",
+      [
+        case "disabled is a guarded no-op" test_span_disabled_noop;
+        case "nesting, ordering, containment" test_span_nesting;
+        case "error flag on raising span" test_span_error_flag;
+        case "parallel workers on distinct tracks" test_parallel_tracks;
+      ] );
+    ( "obs.chrome",
+      [
+        case "acceptor sanity" test_json_acceptor_sanity;
+        case "export is well-formed and complete" test_chrome_export;
+      ] );
+    ( "obs.metrics",
+      [
+        case "counter gating and idempotence" test_counter_basics;
+        case "gauge gating" test_gauge_basics;
+        case "histogram bucket boundaries" test_histogram_buckets;
+        case "histogram rejects bad bounds" test_histogram_bad_buckets;
+        case "prometheus exposition and escaping" test_prometheus_exposition;
+        case "metrics JSON snapshot" test_metrics_json;
+      ] );
+    ("obs.equivalence", [ test_telemetry_equivalence ]);
+  ]
