@@ -1,0 +1,231 @@
+(* Benchmark-history subcommands of the experiment harness:
+
+     main.exe record  [BENCH...] [--out DIR] [--history FILE]
+                      [--rev REV] [--timestamp TS]
+     main.exe compare [BENCH...] [--out DIR] [--history FILE]
+                      [--json FILE] [--window N]
+
+   [record] reduces each BENCH_<name>.json in the output directory to
+   flat metrics (Bench_history.metrics_of_result) and appends one JSON
+   line per bench to the history file. [compare] checks the current
+   BENCH_*.json files against the rolling baseline (per-metric median of
+   the most recent recorded runs with the same bench name and workload
+   scale) and exits 1 when any metric worsened past its noise threshold
+   — the CI regression gate. With no bench names, every BENCH_*.json
+   present is processed. *)
+
+module H = Emflow.Bench_history
+module J = Emflow.Json_out
+module Rp = Emflow.Report
+
+type opts = {
+  out_dir : string;
+  history : string option; (* default: <out_dir>/history.jsonl *)
+  rev : string option;
+  timestamp : string option;
+  json_verdict : string option;
+  window : int;
+  benches : string list;
+}
+
+let default_opts =
+  {
+    out_dir = "bench_out";
+    history = None;
+    rev = None;
+    timestamp = None;
+    json_verdict = None;
+    window = 5;
+    benches = [];
+  }
+
+let usage_record = "usage: main.exe record [BENCH...] [--out DIR] \
+                    [--history FILE] [--rev REV] [--timestamp TS]"
+
+let usage_compare =
+  "usage: main.exe compare [BENCH...] [--out DIR] [--history FILE] \
+   [--json FILE] [--window N]"
+
+let die usage msg =
+  Printf.eprintf "%s\n%s\n" msg usage;
+  exit 2
+
+let parse_opts usage args =
+  let o = ref default_opts in
+  let rec go = function
+    | [] -> ()
+    | "--out" :: dir :: rest ->
+      o := { !o with out_dir = dir };
+      go rest
+    | "--history" :: path :: rest ->
+      o := { !o with history = Some path };
+      go rest
+    | "--rev" :: rev :: rest ->
+      o := { !o with rev = Some rev };
+      go rest
+    | "--timestamp" :: ts :: rest ->
+      o := { !o with timestamp = Some ts };
+      go rest
+    | "--json" :: path :: rest ->
+      o := { !o with json_verdict = Some path };
+      go rest
+    | "--window" :: n :: rest -> begin
+      match int_of_string_opt n with
+      | Some w when w > 0 ->
+        o := { !o with window = w };
+        go rest
+      | _ -> die usage (Printf.sprintf "--window: bad value %S" n)
+    end
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+      die usage (Printf.sprintf "unknown option %S" flag)
+    | bench :: rest ->
+      o := { !o with benches = bench :: !o.benches };
+      go rest
+  in
+  go args;
+  { !o with benches = List.rev !o.benches }
+
+let history_path o =
+  match o.history with
+  | Some p -> p
+  | None -> Filename.concat o.out_dir "history.jsonl"
+
+let result_path o bench = Filename.concat o.out_dir ("BENCH_" ^ bench ^ ".json")
+
+(* With no explicit bench names, pick up every result present. *)
+let discover_benches o usage =
+  match o.benches with
+  | _ :: _ -> o.benches
+  | [] ->
+    let all = try Sys.readdir o.out_dir with Sys_error _ -> [||] in
+    let names =
+      Array.to_list all
+      |> List.filter_map (fun f ->
+             if
+               String.length f > 11
+               && String.sub f 0 6 = "BENCH_"
+               && Filename.check_suffix f ".json"
+             then Some (String.sub f 6 (String.length f - 11))
+             else None)
+      |> List.sort compare
+    in
+    if names = [] then
+      die usage
+        (Printf.sprintf "no BENCH_*.json results under %s — run the benches \
+                         first" o.out_dir);
+    names
+
+let load_entry o usage bench =
+  let path = result_path o bench in
+  match Emflow.Json_in.of_file path with
+  | Error msg -> die usage (Printf.sprintf "%s: %s" path msg)
+  | Ok doc -> begin
+    let rev =
+      match o.rev with
+      | Some r -> r
+      | None -> (
+        match Sys.getenv_opt "GIT_REV" with Some r -> r | None -> "unknown")
+    in
+    let timestamp =
+      match o.timestamp with
+      | Some t -> t
+      | None ->
+        let tm = Unix.gmtime (Unix.gettimeofday ()) in
+        Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+          tm.Unix.tm_sec
+    in
+    match H.entry_of_result ~rev ~timestamp doc with
+    | Error msg -> die usage (Printf.sprintf "%s: %s" path msg)
+    | Ok e -> e
+  end
+
+let record args =
+  let o = parse_opts usage_record args in
+  let benches = discover_benches o usage_record in
+  let hist = history_path o in
+  List.iter
+    (fun bench ->
+      let e = load_entry o usage_record bench in
+      match H.append hist e with
+      | Error msg -> die usage_record (Printf.sprintf "%s: %s" hist msg)
+      | Ok () ->
+        Printf.printf "recorded %s (%d metrics, rev %s) -> %s\n" bench
+          (List.length e.H.metrics) e.H.rev hist)
+    benches;
+  0
+
+let delta_cell = function
+  | None -> "-"
+  | Some d -> Printf.sprintf "%+.1f%%" d
+
+let value_cell v =
+  if Float.abs v >= 1000. then Printf.sprintf "%.4g" v
+  else Printf.sprintf "%.6g" v
+
+let print_verdict (v : H.verdict) =
+  Printf.printf "%s: %d regressions, %d improvements (baseline: %d runs)\n"
+    v.H.v_bench v.H.v_regressions v.H.v_improvements v.H.v_baseline_runs;
+  let table =
+    Rp.create [ "metric"; "current"; "baseline"; "delta"; "allowed"; "status" ]
+  in
+  List.iter
+    (fun (i : H.item) ->
+      Rp.add_row table
+        [
+          i.H.metric;
+          value_cell i.H.current;
+          (match i.H.baseline with Some b -> value_cell b | None -> "-");
+          delta_cell i.H.delta_pct;
+          Printf.sprintf "%.0f%%" i.H.threshold;
+          H.status_to_string i.H.status;
+        ])
+    v.H.v_items;
+  Rp.print table;
+  print_newline ()
+
+let compare args =
+  let o = parse_opts usage_compare args in
+  let benches = discover_benches o usage_compare in
+  let hist = history_path o in
+  let history =
+    match H.load hist with
+    | Ok h -> h
+    | Error msg -> die usage_compare msg
+  in
+  let verdicts =
+    List.map
+      (fun bench ->
+        let e = load_entry o usage_compare bench in
+        H.compare_entry ~window:o.window ~history e)
+      benches
+  in
+  List.iter print_verdict verdicts;
+  (match o.json_verdict with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        J.to_channel oc
+          (J.Obj
+             [
+               ( "regressed",
+                 J.Bool (H.regressed verdicts) );
+               ("verdicts", J.List (List.map H.verdict_to_json verdicts));
+             ]);
+        output_char oc '\n');
+    Printf.printf "verdict written to %s\n" path);
+  if H.regressed verdicts then begin
+    Printf.printf "REGRESSION: at least one metric worsened past its \
+                   threshold\n";
+    1
+  end
+  else begin
+    (if List.for_all (fun (v : H.verdict) -> v.H.v_baseline_runs = 0) verdicts
+     then
+       Printf.printf
+         "no baseline in %s yet — record some runs first; nothing gated\n" hist);
+    0
+  end

@@ -3,7 +3,13 @@
 
    Usage: main.exe [experiment ...] [--full] [--scale X] [--out DIR]
    Experiments: fig6 table2 fig7 table3 fig8 scaling ablation bechamel all
-   Default: all of them (bechamel last). *)
+   Default: all of them (bechamel last).
+
+   Two additional subcommands close the perf loop (see B_history):
+     main.exe record  [BENCH...]   append current BENCH_*.json results
+                                   to bench_out/history.jsonl
+     main.exe compare [BENCH...]   gate current results against the
+                                   rolling baseline (exit 1 on regression) *)
 
 let usage () =
   print_string
@@ -24,9 +30,22 @@ let usage () =
      options:\n\
     \  --full      paper-scale workloads (pg6 = 1.65M edges)\n\
     \  --scale X   explicit workload scale for the IBM-like grids\n\
-    \  --out DIR   directory for CSV series (default bench_out)\n"
+    \  --out DIR   directory for CSV series (default bench_out)\n\n\
+     history subcommands:\n\
+    \  record  [BENCH...] [--out DIR] [--history FILE] [--rev REV] \
+     [--timestamp TS]\n\
+    \          append the named (default: all present) BENCH_*.json \
+     results to the history\n\
+    \  compare [BENCH...] [--out DIR] [--history FILE] [--json FILE] \
+     [--window N]\n\
+    \          compare current results to the rolling baseline; exit 1 \
+     on regression\n"
 
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "record" :: rest -> exit (B_history.record rest)
+  | _ :: "compare" :: rest -> exit (B_history.compare rest)
+  | _ -> ());
   let experiments = ref [] in
   let cfg = ref B_util.default_config in
   let rec parse = function

@@ -76,6 +76,79 @@ let metrics_arg =
            histogram, GC gauges) and write them to $(docv) in Prometheus \
            text exposition format.")
 
+let log_level_arg =
+  let levels =
+    [ ("debug", Obs.Log.Debug); ("info", Obs.Log.Info);
+      ("warn", Obs.Log.Warn); ("error", Obs.Log.Error) ]
+  in
+  Arg.(
+    value
+    & opt (some (enum levels)) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Print structured log records at $(docv) and above \
+           ($(b,debug), $(b,info), $(b,warn), $(b,error)) to standard \
+           error, correlated with the trace span open at each call.")
+
+let log_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-json" ] ~docv:"FILE"
+        ~doc:
+          "Also write the structured log as JSON lines to $(docv) \
+           (records filtered by $(b,--log-level), default info).")
+
+(* Install the structured-log sink requested by --log-level/--log-json;
+   returns a closer that uninstalls it and closes the JSON file. *)
+let start_logging ~log_level ~log_json =
+  match (log_level, log_json) with
+  | None, None -> fun () -> ()
+  | _ ->
+    let json_oc = Option.map open_out log_json in
+    let sink =
+      Obs.Log.create
+        ?min_level:log_level
+        ?text:(Option.map (fun _ -> Obs.Log.Channel stderr) log_level)
+        ?json:(Option.map (fun oc -> Obs.Log.Channel oc) json_oc)
+        ()
+    in
+    Obs.Log.enable sink;
+    fun () ->
+      Obs.Log.disable ();
+      Option.iter close_out_noerr json_oc
+
+let flight_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"FILE"
+        ~doc:
+          "On failure (an analysis error or a non-zero exit), also write \
+           the full flight-recorder ring to $(docv) as JSON lines; the \
+           most recent events always go to standard error.")
+
+(* Failure path: show the most recent flight events on stderr and, when
+   asked, persist the whole ring as JSON lines. *)
+let dump_flight ~flight_dump () =
+  let events = Obs.Flight.events () in
+  if events <> [] then begin
+    Printf.eprintf "--- flight recorder: last %d of %d events ---\n"
+      (min 32 (List.length events))
+      (List.length events);
+    Obs.Flight.dump ~limit:32 stderr;
+    flush stderr;
+    match flight_dump with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Obs.Flight.dump_json oc);
+      Printf.eprintf "flight recorder dump (%d events) written to %s\n%!"
+        (List.length events) path
+  end
+
 let parse_recoveries =
   Obs.Metrics.counter ~help:"Malformed netlist lines skipped in recovery mode"
     "em_parse_recoveries_total"
@@ -346,21 +419,38 @@ let analyze_cmd =
     Term.(
       ret
         (const (fun path tech sigma_t temperature with_maxpath top fix json
-                    html keep_going strict max_errors trace_path metrics_path ->
-             match
-               analyze_netlist path tech sigma_t temperature with_maxpath top
-                 fix json html keep_going strict max_errors trace_path
-                 metrics_path
-             with
-             | `Ok n -> `Ok n
-             | exception Spice.Parser.Parse_error { line; message } ->
-               `Error (false, Printf.sprintf "%s:%d: %s" path line message)
-             | exception Spice.Mna.Unsupported msg ->
-               `Error (false, "unsupported netlist: " ^ msg)
-             | exception Failure msg -> `Error (false, msg))
+                    html keep_going strict max_errors trace_path metrics_path
+                    log_level log_json flight_dump ->
+             let finish_log = start_logging ~log_level ~log_json in
+             (* The flight recorder is always armed during analyze; its
+                ring only surfaces on failure. *)
+             Obs.Flight.set_enabled true;
+             let fail msg =
+               dump_flight ~flight_dump ();
+               `Error (false, msg)
+             in
+             let r =
+               match
+                 analyze_netlist path tech sigma_t temperature with_maxpath
+                   top fix json html keep_going strict max_errors trace_path
+                   metrics_path
+               with
+               | `Ok n ->
+                 if n <> 0 then dump_flight ~flight_dump ();
+                 `Ok n
+               | exception Spice.Parser.Parse_error { line; message } ->
+                 fail (Printf.sprintf "%s:%d: %s" path line message)
+               | exception Spice.Mna.Unsupported msg ->
+                 fail ("unsupported netlist: " ^ msg)
+               | exception Failure msg -> fail msg
+             in
+             Obs.Flight.set_enabled false;
+             finish_log ();
+             r)
         $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ with_maxpath $ top
         $ fix $ json_path $ html_path $ keep_going $ strict $ max_errors
-        $ trace_arg $ metrics_arg))
+        $ trace_arg $ metrics_arg $ log_level_arg $ log_json_arg
+        $ flight_dump_arg))
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -398,39 +488,56 @@ let stats_netlist path tech sigma_t temperature jobs trace_path metrics_path =
   in
   let r = Flow.run_on_compact ~material ?jobs ~pipeline:p compacts in
   Format.printf "%a@.@." Flow.pp_summary r;
-  let span_table = Rp.create [ "span"; "count"; "total ms"; "max ms"; "errors" ] in
-  List.iter
-    (fun (a : Obs.Trace.agg) ->
-      Rp.add_row span_table
-        [
-          a.Obs.Trace.agg_name;
-          Rp.int_cell a.Obs.Trace.count;
-          Printf.sprintf "%.3f" (a.Obs.Trace.total_us /. 1e3);
-          Printf.sprintf "%.3f" (a.Obs.Trace.max_us /. 1e3);
-          Rp.int_cell a.Obs.Trace.errors;
-        ])
-    (Obs.Trace.aggregate trace);
-  Printf.printf "Span summary:\n";
-  Rp.print span_table;
-  let metric_table = Rp.create [ "metric"; "labels"; "value" ] in
-  List.iter
-    (fun (s : Obs.Metrics.sample) ->
-      let labels =
-        String.concat ","
-          (List.map (fun (k, v) -> k ^ "=" ^ v) s.Obs.Metrics.s_labels)
-      in
-      let value =
-        match s.Obs.Metrics.s_kind with
-        | "histogram" ->
-          Printf.sprintf "count=%d sum=%.6gs" s.Obs.Metrics.s_count
-            s.Obs.Metrics.s_value
-        | _ -> Printf.sprintf "%.6g" s.Obs.Metrics.s_value
-      in
-      Rp.add_row metric_table [ s.Obs.Metrics.s_name; labels; value ])
-    (Obs.Metrics.snapshot ());
-  Printf.printf "\nMetrics:\n";
-  Rp.print metric_table;
+  let telemetry_notice = "telemetry disabled — run with --trace/--metrics" in
+  (match Obs.Trace.aggregate trace with
+  | [] -> Printf.printf "Span summary: %s\n" telemetry_notice
+  | aggs ->
+    let span_table =
+      Rp.create
+        [ "span"; "count"; "total ms"; "max ms"; "alloc Mw"; "minor/major GCs";
+          "errors" ]
+    in
+    List.iter
+      (fun (a : Obs.Trace.agg) ->
+        Rp.add_row span_table
+          [
+            a.Obs.Trace.agg_name;
+            Rp.int_cell a.Obs.Trace.count;
+            Printf.sprintf "%.3f" (a.Obs.Trace.total_us /. 1e3);
+            Printf.sprintf "%.3f" (a.Obs.Trace.max_us /. 1e3);
+            Printf.sprintf "%.2f" (a.Obs.Trace.total_allocated_words /. 1e6);
+            Printf.sprintf "%d/%d" a.Obs.Trace.total_minor_collections
+              a.Obs.Trace.total_major_collections;
+            Rp.int_cell a.Obs.Trace.errors;
+          ])
+      aggs;
+    Printf.printf "Span summary:\n";
+    Rp.print span_table);
+  (match Obs.Metrics.snapshot () with
+  | [] -> Printf.printf "\nMetrics: %s\n" telemetry_notice
+  | samples ->
+    let metric_table = Rp.create [ "metric"; "labels"; "value" ] in
+    List.iter
+      (fun (s : Obs.Metrics.sample) ->
+        let labels =
+          String.concat ","
+            (List.map (fun (k, v) -> k ^ "=" ^ v) s.Obs.Metrics.s_labels)
+        in
+        let value =
+          match s.Obs.Metrics.s_kind with
+          | "histogram" ->
+            Printf.sprintf "count=%d sum=%.6gs" s.Obs.Metrics.s_count
+              s.Obs.Metrics.s_value
+          | _ -> Printf.sprintf "%.6g" s.Obs.Metrics.s_value
+        in
+        Rp.add_row metric_table [ s.Obs.Metrics.s_name; labels; value ])
+      samples;
+    Printf.printf "\nMetrics:\n";
+    Rp.print metric_table);
   export_telemetry ~trace_path ~metrics_path (Some trace);
+  (* stats forced the collectors on; don't leak that past the command. *)
+  Obs.Trace.disable ();
+  Obs.Metrics.set_enabled false;
   `Ok 0
 
 let stats_cmd =
@@ -450,19 +557,25 @@ let stats_cmd =
   let term =
     Term.(
       ret
-        (const (fun path tech sigma_t temperature jobs trace_path metrics_path ->
-             match
-               stats_netlist path tech sigma_t temperature jobs trace_path
-                 metrics_path
-             with
-             | `Ok n -> `Ok n
-             | exception Spice.Parser.Parse_error { line; message } ->
-               `Error (false, Printf.sprintf "%s:%d: %s" path line message)
-             | exception Spice.Mna.Unsupported msg ->
-               `Error (false, "unsupported netlist: " ^ msg)
-             | exception Failure msg -> `Error (false, msg))
+        (const (fun path tech sigma_t temperature jobs trace_path metrics_path
+                    log_level log_json ->
+             let finish_log = start_logging ~log_level ~log_json in
+             let r =
+               match
+                 stats_netlist path tech sigma_t temperature jobs trace_path
+                   metrics_path
+               with
+               | `Ok n -> `Ok n
+               | exception Spice.Parser.Parse_error { line; message } ->
+                 `Error (false, Printf.sprintf "%s:%d: %s" path line message)
+               | exception Spice.Mna.Unsupported msg ->
+                 `Error (false, "unsupported netlist: " ^ msg)
+               | exception Failure msg -> `Error (false, msg)
+             in
+             finish_log ();
+             r)
         $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ jobs $ trace_arg
-        $ metrics_arg))
+        $ metrics_arg $ log_level_arg $ log_json_arg))
   in
   Cmd.v
     (Cmd.info "stats"

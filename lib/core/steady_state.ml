@@ -17,6 +17,9 @@ let check_normalization ~volume ~q =
   let q_over_a = q /. volume in
   if not (Float.is_finite q_over_a) then begin
     Obs.Metrics.inc degenerate_total;
+    Obs.Log.warn (fun () ->
+        ( "steady-state solve rejected: non-finite normalization",
+          [ ("q", Obs.Trace.Float q); ("volume", Obs.Trace.Float volume) ] ));
     raise
       (Degenerate
          (Printf.sprintf

@@ -188,7 +188,16 @@ let finish_run p ~material ~with_maxpath ?jobs compacts =
         | Ok records -> records
         | Error (e, _bt) ->
           Obs.Metrics.inc structures_failed;
-          diags := diag_of_failure i compacts_arr.(i) e :: !diags;
+          let d = diag_of_failure i compacts_arr.(i) e in
+          Obs.Log.warn (fun () ->
+              ( "structure analysis failed; fault-isolated",
+                [
+                  ("structure", Obs.Trace.Int i);
+                  ( "layer",
+                    Obs.Trace.Int compacts_arr.(i).Extract.cs_layer_level );
+                  ("error", Obs.Trace.String (Printexc.to_string e));
+                ] ));
+          diags := d :: !diags;
           [||])
       slots
   in
@@ -238,18 +247,29 @@ let make_result p ~counts ~maxpath_counts ~segments ~num_structures
     Obs.Metrics.set_gauge gc_major (sum (fun s -> s.Pipeline.major_words));
     Obs.Metrics.set_gauge gc_promoted (sum (fun s -> s.Pipeline.promoted_words))
   end;
-  {
-    counts;
-    maxpath_counts;
-    segments;
-    num_structures;
-    num_segments = Array.length segments;
-    diags;
-    solve_time = stage_cpu p "solve";
-    extract_time = stage_cpu p "extract";
-    analysis_time;
-    stages = Pipeline.stages p;
-  }
+  let r =
+    {
+      counts;
+      maxpath_counts;
+      segments;
+      num_structures;
+      num_segments = Array.length segments;
+      diags;
+      solve_time = stage_cpu p "solve";
+      extract_time = stage_cpu p "extract";
+      analysis_time;
+      stages = Pipeline.stages p;
+    }
+  in
+  Obs.Log.info (fun () ->
+      ( "EM analysis run complete",
+        [
+          ("structures", Obs.Trace.Int r.num_structures);
+          ("segments", Obs.Trace.Int r.num_segments);
+          ("failed_structures", Obs.Trace.Int (failed_structures r));
+          ("analysis_s", Obs.Trace.Float r.analysis_time);
+        ] ));
+  r
 
 let run_on_compact ?(material = M.cu_dac21) ?(with_maxpath = false) ?jobs
     ?(pipeline = Pipeline.create ()) compacts =

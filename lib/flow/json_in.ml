@@ -1,0 +1,242 @@
+exception Bad of int * string
+
+type state = { s : string; mutable pos : int }
+
+let error st msg = raise (Bad (st.pos, msg))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+    st.pos <- st.pos + 1;
+    c
+  | None -> error st "unexpected end of input"
+
+let expect st c =
+  let c' = next st in
+  if c' <> c then error st (Printf.sprintf "expected %C, found %C" c c')
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    st.pos <- st.pos + 1;
+    skip_ws st
+  | _ -> ()
+
+let literal st lit v =
+  String.iter (fun c -> expect st c) lit;
+  v
+
+(* Encode a Unicode scalar value as UTF-8. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let d =
+      match next st with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+      | c -> error st (Printf.sprintf "bad hex digit %C" c)
+    in
+    v := (!v * 16) + d
+  done;
+  !v
+
+let string_lit st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match next st with
+    | '"' -> Buffer.contents buf
+    | '\\' -> begin
+      (match next st with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' ->
+        let cp = hex4 st in
+        if cp >= 0xd800 && cp <= 0xdbff then begin
+          (* High surrogate: require the matching low half. *)
+          expect st '\\';
+          expect st 'u';
+          let lo = hex4 st in
+          if lo < 0xdc00 || lo > 0xdfff then error st "unpaired surrogate";
+          add_utf8 buf
+            (0x10000 + (((cp - 0xd800) lsl 10) lor (lo - 0xdc00)))
+        end
+        else if cp >= 0xdc00 && cp <= 0xdfff then error st "unpaired surrogate"
+        else add_utf8 buf cp
+      | c -> error st (Printf.sprintf "bad escape \\%C" c));
+      go ()
+    end
+    | c when Char.code c < 0x20 ->
+      error st "unescaped control character in string"
+    | c ->
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let number_lit st =
+  let start = st.pos in
+  let integral = ref true in
+  if peek st = Some '-' then st.pos <- st.pos + 1;
+  let digits () =
+    let saw = ref false in
+    let rec go () =
+      match peek st with
+      | Some '0' .. '9' ->
+        st.pos <- st.pos + 1;
+        saw := true;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    if not !saw then error st "malformed number"
+  in
+  digits ();
+  if peek st = Some '.' then begin
+    integral := false;
+    st.pos <- st.pos + 1;
+    digits ()
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+    integral := false;
+    st.pos <- st.pos + 1;
+    (match peek st with
+    | Some ('+' | '-') -> st.pos <- st.pos + 1
+    | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub st.s start (st.pos - start) in
+  if !integral then
+    match int_of_string_opt text with
+    | Some i -> Json_out.Int i
+    | None -> Json_out.Float (float_of_string text)
+  else Json_out.Float (float_of_string text)
+
+let rec value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' -> obj st
+  | Some '[' -> arr st
+  | Some '"' -> Json_out.String (string_lit st)
+  | Some 't' -> literal st "true" (Json_out.Bool true)
+  | Some 'f' -> literal st "false" (Json_out.Bool false)
+  | Some 'n' -> literal st "null" Json_out.Null
+  | Some ('-' | '0' .. '9') -> number_lit st
+  | Some c -> error st (Printf.sprintf "unexpected %C" c)
+  | None -> error st "unexpected end of input"
+
+and obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    st.pos <- st.pos + 1;
+    Json_out.Obj []
+  end
+  else begin
+    let members = ref [] in
+    let rec go () =
+      skip_ws st;
+      let k = string_lit st in
+      skip_ws st;
+      expect st ':';
+      let v = value st in
+      members := (k, v) :: !members;
+      skip_ws st;
+      match next st with
+      | ',' -> go ()
+      | '}' -> ()
+      | c -> error st (Printf.sprintf "expected ',' or '}', found %C" c)
+    in
+    go ();
+    Json_out.Obj (List.rev !members)
+  end
+
+and arr st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    st.pos <- st.pos + 1;
+    Json_out.List []
+  end
+  else begin
+    let items = ref [] in
+    let rec go () =
+      let v = value st in
+      items := v :: !items;
+      skip_ws st;
+      match next st with
+      | ',' -> go ()
+      | ']' -> ()
+      | c -> error st (Printf.sprintf "expected ',' or ']', found %C" c)
+    in
+    go ();
+    Json_out.List (List.rev !items)
+  end
+
+let parse text =
+  let st = { s = text; pos = 0 } in
+  match
+    let v = value st in
+    skip_ws st;
+    if st.pos <> String.length text then error st "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (pos, msg) ->
+    Error (Printf.sprintf "JSON parse error at offset %d: %s" pos msg)
+
+let parse_exn text =
+  match parse text with Ok v -> v | Error msg -> failwith msg
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let member key = function
+  | Json_out.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let number = function
+  | Json_out.Int i -> Some (float_of_int i)
+  | Json_out.Float f -> Some f
+  | _ -> None
+
+let string_value = function Json_out.String s -> Some s | _ -> None
+
+let bool_value = function Json_out.Bool b -> Some b | _ -> None
+
+let list_value = function Json_out.List l -> Some l | _ -> None

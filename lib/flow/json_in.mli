@@ -1,0 +1,34 @@
+(** Minimal JSON parsing into {!Json_out.t} — the read side of the
+    machine-readable reports, so the benchmark history tracker can load
+    [BENCH_*.json] results and [history.jsonl] lines back without an
+    external dependency.
+
+    Full JSON: objects, arrays, strings (with [\uXXXX] escapes, decoded
+    to UTF-8; surrogate pairs supported), numbers ([Int] when the
+    literal is integral and fits, [Float] otherwise), [true] / [false] /
+    [null]. Duplicate object keys are kept in order (lookups see the
+    first). *)
+
+val parse : string -> (Json_out.t, string) result
+(** Parse a complete document; trailing garbage is an error. The error
+    string carries a character offset. *)
+
+val parse_exn : string -> Json_out.t
+(** Raises [Failure] with {!parse}'s error message. *)
+
+val of_file : string -> (Json_out.t, string) result
+(** Read and parse a whole file (errors include I/O failures). *)
+
+(** {1 Accessors} *)
+
+val member : string -> Json_out.t -> Json_out.t option
+(** Object field lookup; [None] on missing field or non-object. *)
+
+val number : Json_out.t -> float option
+(** [Int] or [Float] as a float. *)
+
+val string_value : Json_out.t -> string option
+
+val bool_value : Json_out.t -> bool option
+
+val list_value : Json_out.t -> Json_out.t list option

@@ -41,8 +41,19 @@ let run p name f =
         error;
       }
     in
-    p.rev_stages <- stage :: p.rev_stages
+    p.rev_stages <- stage :: p.rev_stages;
+    let level = if error then Obs.Log.Error else Obs.Log.Info in
+    Obs.Log.log level (fun () ->
+        ( (if error then "stage failed" else "stage done"),
+          [
+            ("stage", Obs.Trace.String name);
+            ("wall_s", Obs.Trace.Float stage.wall_s);
+            ("cpu_s", Obs.Trace.Float stage.cpu_s);
+            ("alloc_words", Obs.Trace.Float (allocated_words stage));
+          ] ))
   in
+  Obs.Log.debug (fun () ->
+      ("stage start", [ ("stage", Obs.Trace.String name) ]));
   (* The stage doubles as a telemetry span on the calling domain's
      track (the root lane of the trace): the timing reported here and
      the span in the exported trace are the same interval, not two

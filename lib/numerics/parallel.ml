@@ -27,7 +27,17 @@ let run_slots ~jobs ~local f xs =
     out.(i) <-
       (match f state xs.(i) with
       | v -> Ok v
-      | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (* Only the failure path logs: the per-item fast path must stay
+           free of telemetry beyond the caller's own instrumentation. *)
+        Obs.Log.warn (fun () ->
+            ( "parallel slot raised; captured",
+              [
+                ("slot", Obs.Trace.Int i);
+                ("error", Obs.Trace.String (Printexc.to_string e));
+              ] ));
+        Error (e, bt))
   in
   if jobs <= 1 then begin
     let state = local () in
@@ -42,6 +52,9 @@ let run_slots ~jobs ~local f xs =
       let state = local () in
       let lo, len = chunk ~n ~jobs w in
       let run_chunk () =
+        Obs.Log.debug (fun () ->
+            ( "parallel chunk start",
+              [ ("worker", Obs.Trace.Int w); ("items", Obs.Trace.Int len) ] ));
         for i = lo to lo + len - 1 do
           body state i
         done

@@ -1,0 +1,60 @@
+(** Crash flight recorder: a fixed-size ring buffer of recent
+    observability events per domain.
+
+    When enabled, {!Log} pushes every log record (regardless of the
+    sink's level filter) and {!Trace.with_span} pushes every completed
+    span into the calling domain's ring — even when no log sink or
+    trace buffer is installed. Each ring holds the last {!capacity}
+    events; older ones are overwritten. On a failure (an analysis
+    raising, a non-zero exit) the accumulated rings are dumped, so a
+    fault-isolated error arrives with the events that led up to it.
+
+    Concurrency: each ring has a single writer (its owning domain) and
+    is published through atomics, so recording is lock-free; only ring
+    registration (once per domain) takes a lock. {!events} may read a
+    ring concurrently with its writer and can then miss or duplicate
+    the event being overwritten at that instant — acceptable for a
+    crash dump, which normally runs after the workers have joined.
+
+    Disabled (the default), {!record} is one atomic load and a branch. *)
+
+type event = {
+  fl_ts_us : float;  (** {!Clock.now_us} when recorded *)
+  fl_track : int;    (** domain id of the recording domain *)
+  fl_kind : string;  (** ["log"] or ["span"] *)
+  fl_level : string; (** log level, or ["span"] / ["error"] for spans *)
+  fl_name : string;  (** log message or span name *)
+  fl_detail : (string * string) list;  (** rendered fields/attributes *)
+}
+
+val capacity : int
+(** Events retained per domain ring (256). *)
+
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run with the flag set, restoring the previous value afterwards
+    (also on exceptions). *)
+
+val record :
+  kind:string -> level:string -> name:string -> (string * string) list -> unit
+(** Push one event onto the calling domain's ring; no-op when disabled.
+    The timestamp and track are captured here. *)
+
+val events : unit -> event list
+(** Surviving events across all domain rings, oldest first (sorted by
+    timestamp, ties by track). *)
+
+val clear : unit -> unit
+(** Drop all recorded events (the rings stay registered). *)
+
+val dump : ?limit:int -> out_channel -> unit
+(** Human-readable dump, one line per event, oldest first; with
+    [limit], only the most recent [limit] events. *)
+
+val dump_json : out_channel -> unit
+(** The same events as JSON lines
+    ([{"ts_us":...,"track":...,"kind":...,"level":...,"name":...,
+    "fields":{...}}], one object per line). *)

@@ -1,0 +1,90 @@
+(* Shared JSON emission helpers for the observability exporters (Chrome
+   traces, JSON-line logs, flight dumps). Obs sits below the flow layer
+   and cannot use its Json_out, and the exporters here must additionally
+   survive hostile input: span names and attribute values come from
+   netlists and error messages, so they may contain control characters,
+   quotes, or bytes that are not valid UTF-8. JSON itself only requires
+   escaping below 0x20, but consumers (Perfetto, jq, browsers) require
+   the document to be valid UTF-8 — invalid sequences are replaced with
+   U+FFFD. *)
+
+let add_replacement buf = Buffer.add_string buf "\xef\xbf\xbd" (* U+FFFD *)
+
+(* Length of a valid UTF-8 sequence starting at [i], or 0 when the bytes
+   at [i] do not form one (overlong forms and surrogates rejected). *)
+let utf8_seq_len s i =
+  let n = String.length s in
+  let cont j = j < n && Char.code s.[j] land 0xc0 = 0x80 in
+  let b0 = Char.code s.[i] in
+  if b0 < 0x80 then 1
+  else if b0 < 0xc2 then 0 (* continuation byte or overlong lead *)
+  else if b0 < 0xe0 then if cont (i + 1) then 2 else 0
+  else if b0 < 0xf0 then begin
+    if not (cont (i + 1) && cont (i + 2)) then 0
+    else
+      let b1 = Char.code s.[i + 1] in
+      if b0 = 0xe0 && b1 < 0xa0 then 0 (* overlong *)
+      else if b0 = 0xed && b1 >= 0xa0 then 0 (* surrogate *)
+      else 3
+  end
+  else if b0 < 0xf5 then begin
+    if not (cont (i + 1) && cont (i + 2) && cont (i + 3)) then 0
+    else
+      let b1 = Char.code s.[i + 1] in
+      if b0 = 0xf0 && b1 < 0x90 then 0 (* overlong *)
+      else if b0 = 0xf4 && b1 >= 0x90 then 0 (* > U+10FFFF *)
+      else 4
+  end
+  else 0
+
+let add_string buf s =
+  Buffer.add_char buf '"';
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '"' ->
+      Buffer.add_string buf "\\\"";
+      incr i
+    | '\\' ->
+      Buffer.add_string buf "\\\\";
+      incr i
+    | '\n' ->
+      Buffer.add_string buf "\\n";
+      incr i
+    | '\r' ->
+      Buffer.add_string buf "\\r";
+      incr i
+    | '\t' ->
+      Buffer.add_string buf "\\t";
+      incr i
+    | c when Char.code c < 0x20 ->
+      Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+      incr i
+    | c when Char.code c < 0x80 ->
+      Buffer.add_char buf c;
+      incr i
+    | _ -> begin
+      match utf8_seq_len s !i with
+      | 0 ->
+        add_replacement buf;
+        incr i
+      | len ->
+        Buffer.add_substring buf s !i len;
+        i := !i + len
+    end)
+  done;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if Float.is_finite f then begin
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then Buffer.add_string buf short
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  end
+  else Buffer.add_string buf "null"
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_string buf s;
+  Buffer.contents buf

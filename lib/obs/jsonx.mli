@@ -1,0 +1,20 @@
+(** JSON emission helpers shared by the observability exporters.
+
+    Strings are escaped per JSON {e and} sanitized to valid UTF-8
+    (invalid byte sequences become U+FFFD), because the exported
+    documents are consumed by tools (Perfetto, jq) that reject non-UTF-8
+    input; span and attribute names come from netlists and error
+    messages and cannot be trusted. *)
+
+val add_string : Buffer.t -> string -> unit
+(** Append [s] as a quoted JSON string literal. *)
+
+val add_float : Buffer.t -> float -> unit
+(** Shortest round-trip decimal; non-finite floats render as [null]. *)
+
+val escape : string -> string
+(** The quoted string literal as a fresh string. *)
+
+val utf8_seq_len : string -> int -> int
+(** Length (1–4) of the valid UTF-8 sequence starting at the given byte
+    index, or 0 if the bytes there are not one. *)

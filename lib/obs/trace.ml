@@ -1,5 +1,11 @@
 type value = Bool of bool | Int of int | Float of float | String of string
 
+let value_to_string = function
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> s
+
 type event = {
   id : int;
   parent : int option;
@@ -9,6 +15,11 @@ type event = {
   dur_us : float;
   error : bool;
   attrs : (string * value) list;
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
 }
 
 type t = {
@@ -28,7 +39,8 @@ let create () =
     next_id = Atomic.make 0;
   }
 
-(* The one global the fast path reads: one atomic load, one branch. *)
+(* The one global the fast path reads: one atomic load, one branch
+   (plus the flight recorder's flag, also off by default). *)
 let state : t option Atomic.t = Atomic.make None
 
 let enabled () = Atomic.get state <> None
@@ -66,23 +78,62 @@ let with_enabled t f =
 let stack_key : int list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
+let current_span_id () =
+  match Atomic.get state with
+  | None -> None
+  | Some _ -> begin
+    match !(Domain.DLS.get stack_key) with [] -> None | id :: _ -> Some id
+  end
+
 let record t e =
   Mutex.lock t.mutex;
   t.rev_events <- e :: t.rev_events;
   Mutex.unlock t.mutex
 
+let flight_of_span ~name ~dur_us ~error attrs =
+  Flight.record ~kind:"span"
+    ~level:(if error then "error" else "span")
+    ~name
+    (("dur_us", Printf.sprintf "%.1f" dur_us)
+    :: List.map (fun (k, v) -> (k, value_to_string v)) attrs)
+
+(* Tracing disabled but the flight recorder on: time the body and leave
+   the span in the crash ring, without ids or GC accounting. *)
+let flight_only_span attrs name f =
+  let start_us = Clock.now_us () in
+  let finish error =
+    flight_of_span ~name ~dur_us:(Clock.now_us () -. start_us) ~error attrs
+  in
+  match f () with
+  | v ->
+    finish false;
+    v
+  | exception e ->
+    finish true;
+    raise e
+
 let with_span ?(attrs = []) name f =
   match Atomic.get state with
-  | None -> f ()
+  | None ->
+    if Flight.is_enabled () then flight_only_span attrs name f else f ()
   | Some t ->
     let id = Atomic.fetch_and_add t.next_id 1 in
     let stack = Domain.DLS.get stack_key in
     let parent = match !stack with [] -> None | p :: _ -> Some p in
     stack := id :: !stack;
     let tr = track () in
+    (* [Gc.quick_stat]'s word counters only refresh at GC points, so
+       [Gc.minor_words] (which reads the allocation pointer) supplies
+       the exact minor delta; major/promoted words and collection
+       counts come from the stat record. *)
+    let minor0 = Gc.minor_words () in
+    let gc0 = Gc.quick_stat () in
     let start_us = Clock.now_us () in
     let finish error =
       (match !stack with _ :: rest -> stack := rest | [] -> ());
+      let dur_us = Clock.now_us () -. start_us in
+      let gc1 = Gc.quick_stat () in
+      let minor1 = Gc.minor_words () in
       record t
         {
           id;
@@ -90,10 +141,18 @@ let with_span ?(attrs = []) name f =
           name;
           track = tr;
           start_us;
-          dur_us = Clock.now_us () -. start_us;
+          dur_us;
           error;
           attrs;
-        }
+          gc_minor_words = minor1 -. minor0;
+          gc_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+          gc_promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
+          gc_minor_collections =
+            gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+          gc_major_collections =
+            gc1.Gc.major_collections - gc0.Gc.major_collections;
+        };
+      if Flight.is_enabled () then flight_of_span ~name ~dur_us ~error attrs
     in
     (match f () with
     | v ->
@@ -128,12 +187,22 @@ let track_names t =
 
 let epoch_us t = t.epoch_us
 
+let allocated_words e =
+  (* Words promoted out of the minor heap would otherwise be counted
+     twice: once as minor allocation, once as major. *)
+  e.gc_minor_words +. e.gc_major_words -. e.gc_promoted_words
+
 type agg = {
   agg_name : string;
   count : int;
   total_us : float;
   max_us : float;
   errors : int;
+  total_minor_words : float;
+  total_major_words : float;
+  total_allocated_words : float;
+  total_minor_collections : int;
+  total_major_collections : int;
 }
 
 let aggregate t =
@@ -146,7 +215,18 @@ let aggregate t =
         | Some a -> a
         | None ->
           order := e.name :: !order;
-          { agg_name = e.name; count = 0; total_us = 0.; max_us = 0.; errors = 0 }
+          {
+            agg_name = e.name;
+            count = 0;
+            total_us = 0.;
+            max_us = 0.;
+            errors = 0;
+            total_minor_words = 0.;
+            total_major_words = 0.;
+            total_allocated_words = 0.;
+            total_minor_collections = 0;
+            total_major_collections = 0;
+          }
       in
       Hashtbl.replace tbl e.name
         {
@@ -155,38 +235,26 @@ let aggregate t =
           total_us = a.total_us +. e.dur_us;
           max_us = Float.max a.max_us e.dur_us;
           errors = (a.errors + (if e.error then 1 else 0));
+          total_minor_words = a.total_minor_words +. e.gc_minor_words;
+          total_major_words = a.total_major_words +. e.gc_major_words;
+          total_allocated_words = a.total_allocated_words +. allocated_words e;
+          total_minor_collections =
+            a.total_minor_collections + e.gc_minor_collections;
+          total_major_collections =
+            a.total_major_collections + e.gc_major_collections;
         })
     (events t);
   List.rev_map (Hashtbl.find tbl) !order
   |> List.sort (fun a b -> Float.compare b.total_us a.total_us)
 
 (* ------------------------------------------------------------------ *)
-(* Chrome trace-event export (self-contained JSON emission: Obs sits
-   below the flow layer and cannot use its Json_out). *)
+(* Chrome trace-event export (JSON emission via Jsonx: escaped and
+   sanitized to valid UTF-8, since span/attribute names may come from
+   netlists and error messages). *)
 
-let add_json_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
+let add_json_string = Jsonx.add_string
 
-let add_json_float buf f =
-  if Float.is_finite f then begin
-    let short = Printf.sprintf "%.12g" f in
-    if float_of_string short = f then Buffer.add_string buf short
-    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
-  end
-  else Buffer.add_string buf "null"
+let add_json_float = Jsonx.add_float
 
 let add_value buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
@@ -212,6 +280,14 @@ let add_event buf ~epoch e =
   | None -> ());
   Buffer.add_string buf ",\"error\":";
   Buffer.add_string buf (if e.error then "true" else "false");
+  Buffer.add_string buf ",\"gc_minor_words\":";
+  add_json_float buf e.gc_minor_words;
+  Buffer.add_string buf ",\"gc_major_words\":";
+  add_json_float buf e.gc_major_words;
+  Buffer.add_string buf ",\"gc_minor_collections\":";
+  Buffer.add_string buf (string_of_int e.gc_minor_collections);
+  Buffer.add_string buf ",\"gc_major_collections\":";
+  Buffer.add_string buf (string_of_int e.gc_major_collections);
   List.iter
     (fun (k, v) ->
       Buffer.add_char buf ',';

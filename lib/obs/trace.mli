@@ -23,6 +23,10 @@
 type value = Bool of bool | Int of int | Float of float | String of string
 (** Attribute values; rendered into the Chrome event's [args]. *)
 
+val value_to_string : value -> string
+(** Plain (unquoted) rendering, used for flight-recorder details and
+    log fields. *)
+
 type event = {
   id : int;            (** unique per trace, allocation order *)
   parent : int option; (** enclosing span on the same domain, if any *)
@@ -32,7 +36,17 @@ type event = {
   dur_us : float;      (** duration, >= 0 *)
   error : bool;        (** the span body raised *)
   attrs : (string * value) list;
+  gc_minor_words : float;  (** words allocated in the minor heap *)
+  gc_major_words : float;  (** words allocated directly in the major heap *)
+  gc_promoted_words : float;
+      (** minor words that survived into the major heap *)
+  gc_minor_collections : int;  (** minor GCs during the span *)
+  gc_major_collections : int;  (** major GC cycles completed *)
 }
+
+val allocated_words : event -> float
+(** Words freshly allocated during the span
+    ([minor + major - promoted], the standard double-count correction). *)
 
 type t
 (** A trace buffer (sink) of completed spans. *)
@@ -58,9 +72,18 @@ val with_enabled : t -> (unit -> 'a) -> 'a
 val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f ()]; when tracing is enabled, the call is
     recorded as a completed span on the calling domain's track, nested
-    under the innermost open span of that domain. If [f] raises, the
-    span is recorded with [error = true] and the exception propagates.
-    When tracing is disabled this is [f ()] plus one branch. *)
+    under the innermost open span of that domain, with the span's GC
+    deltas ([Gc.minor_words] for the exact minor count, [Gc.quick_stat]
+    for the rest) attached. If [f] raises, the span is recorded with
+    [error = true] and the exception propagates. Completed spans are
+    also pushed onto the {!Flight} ring when that recorder is on — even
+    with no trace sink installed (timed, without ids or GC accounting).
+    When tracing and the flight recorder are both disabled this is
+    [f ()] plus two flag loads. *)
+
+val current_span_id : unit -> int option
+(** The innermost open span on the calling domain, when tracing is
+    enabled — what {!Log} stamps log records with for correlation. *)
 
 val track : unit -> int
 (** The calling domain's track id ([Domain.self] as an integer). *)
@@ -88,10 +111,16 @@ type agg = {
   total_us : float;
   max_us : float;
   errors : int;
+  total_minor_words : float;
+  total_major_words : float;
+  total_allocated_words : float;  (** minor + major - promoted *)
+  total_minor_collections : int;
+  total_major_collections : int;
 }
 
 val aggregate : t -> agg list
-(** Per-span-name totals, ordered by descending [total_us]. *)
+(** Per-span-name totals (time and GC), ordered by descending
+    [total_us]. *)
 
 (** {1 Export} *)
 
@@ -100,8 +129,10 @@ val to_chrome_json : t -> string
     [{"traceEvents": [...], "displayTimeUnit": "ms"}] with one complete
     ("ph":"X") event per span (timestamps in microseconds relative to
     {!epoch_us}; [args] carries the attributes plus [span_id] /
-    [parent_id] / [error]) and thread-name metadata records for named
-    tracks. *)
+    [parent_id] / [error] and the [gc_*] deltas) and thread-name
+    metadata records for named tracks. Strings are escaped and
+    sanitized to valid UTF-8, so the output stays Perfetto-loadable
+    for hostile span/attribute names. *)
 
 val write_chrome : string -> t -> unit
 (** [write_chrome path t] writes {!to_chrome_json} to [path]. *)

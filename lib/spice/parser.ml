@@ -109,6 +109,12 @@ let parse_into_tolerant builder ~max_errors errors count lineno line =
                  "too many malformed lines (more than %d); last error: %s"
                  max_errors message;
            });
+    Obs.Log.warn (fun () ->
+        ( "netlist line skipped in recovery mode",
+          [
+            ("line", Obs.Trace.Int line);
+            ("reason", Obs.Trace.String message);
+          ] ));
     errors := { line; message } :: !errors
 
 let parse_string ?(title = "parsed netlist") text =

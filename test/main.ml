@@ -13,4 +13,5 @@ let () =
          T_pdn.suites;
          T_flow.suites;
          T_obs.suites;
+         T_history.suites;
        ])

@@ -273,6 +273,265 @@ let test_chrome_export () =
       {|"error":true|}; "quote\\\" backslash\\\\ newline\\n";
     ]
 
+let test_chrome_export_hostile_names () =
+  (* Span and attribute names under attack: multibyte unicode, control
+     characters, quotes/backslashes, and invalid UTF-8 (lone
+     continuation byte, truncated sequence, 0xFF). The export must stay
+     syntactically valid JSON with invalid bytes replaced by U+FFFD. *)
+  let t = Tr.create () in
+  Tr.with_enabled t (fun () ->
+      Tr.with_span "λ→∞ 界" (fun () -> ());
+      Tr.with_span "ctrl\x01\x1ftab\tquote\"back\\" (fun () -> ());
+      Tr.with_span "bad\x80utf\xe2\x82trunc\xff"
+        ~attrs:
+          [ ("key \"q\" \x9f", Tr.String "va\xc0lue\n"); ("μ", Tr.Int 1) ]
+        (fun () -> ()));
+  let json = Tr.to_chrome_json t in
+  Alcotest.(check bool) "hostile export is well-formed JSON" true
+    (json_accepts json);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        ("contains " ^ String.escaped needle)
+        true (contains json needle))
+    [
+      (* Valid multibyte sequences survive untouched... *)
+      "λ→∞ 界"; "μ";
+      (* ...control characters become \u escapes... *)
+      {|ctrl\u0001\u001ftab\tquote\"back\\|};
+      (* ...and each invalid byte is replaced by U+FFFD. *)
+      (* The truncated 3-byte sequence \xe2\x82 yields one replacement
+         per invalid byte. *)
+      "bad\xef\xbf\xbdutf\xef\xbf\xbd\xef\xbf\xbdtrunc\xef\xbf\xbd";
+      "va\xef\xbf\xbdlue\\n";
+    ];
+  (* No raw invalid byte leaks through. *)
+  Alcotest.(check bool) "no raw 0xFF" false (String.contains json '\xff')
+
+(* ---------------------------------------------------------------- *)
+(* Log                                                               *)
+
+module Lg = Obs.Log
+module Fl = Obs.Flight
+
+let test_log_disabled_noop () =
+  Lg.disable ();
+  Fl.set_enabled false;
+  Alcotest.(check bool) "no sink installed" false (Lg.enabled ());
+  let ran = ref false in
+  Lg.info (fun () ->
+      ran := true;
+      ("should not run", []));
+  Alcotest.(check bool) "thunk never runs when all off" false !ran
+
+let log_lines buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let test_log_level_filter () =
+  Fl.set_enabled false;
+  let buf = Buffer.create 256 in
+  let sink = Lg.create ~min_level:Lg.Warn ~text:(Lg.Buffer buf) () in
+  Lg.with_enabled sink (fun () ->
+      Lg.debug (fun () -> ("too quiet", []));
+      Lg.info (fun () -> ("still too quiet", []));
+      Lg.warn (fun () -> ("loud enough", [ ("k", Tr.String "v") ]));
+      Lg.error (fun () -> ("very loud", [ ("n", Tr.Int 3) ])));
+  Alcotest.(check bool) "sink uninstalled afterwards" false (Lg.enabled ());
+  match log_lines buf with
+  | [ w; e ] ->
+    Alcotest.(check bool) "warn line has level" true (contains w "WARN");
+    Alcotest.(check bool) "warn line has message" true
+      (contains w "loud enough");
+    Alcotest.(check bool) "warn line has field" true (contains w "k=v");
+    Alcotest.(check bool) "error line has level" true (contains e "ERROR");
+    Alcotest.(check bool) "error line has field" true (contains e "n=3")
+  | ls -> Alcotest.failf "expected 2 lines above Warn, got %d" (List.length ls)
+
+let test_log_json_sink () =
+  Fl.set_enabled false;
+  let buf = Buffer.create 256 in
+  let sink = Lg.create ~min_level:Lg.Debug ~json:(Lg.Buffer buf) () in
+  Lg.with_enabled sink (fun () ->
+      Lg.info (fun () ->
+          ( "json record",
+            [
+              ("f", Tr.Float 0.5); ("b", Tr.Bool true);
+              ("s", Tr.String "quote\" \xffbad");
+            ] )));
+  match log_lines buf with
+  | [ line ] ->
+    Alcotest.(check bool) "line is valid JSON" true (json_accepts line);
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          ("contains " ^ String.escaped needle)
+          true (contains line needle))
+      [
+        {|"level":"info"|}; {|"msg":"json record"|}; {|"f":0.5|}; {|"b":true|};
+        (* Hostile bytes in a field value sanitize, stay valid JSON. *)
+        "quote\\\" \xef\xbf\xbdbad";
+      ]
+  | ls -> Alcotest.failf "expected 1 JSON line, got %d" (List.length ls)
+
+let test_log_span_correlation () =
+  Fl.set_enabled false;
+  let buf = Buffer.create 256 in
+  let jbuf = Buffer.create 256 in
+  let sink = Lg.create ~text:(Lg.Buffer buf) ~json:(Lg.Buffer jbuf) () in
+  let t = Tr.create () in
+  Tr.with_enabled t (fun () ->
+      Lg.with_enabled sink (fun () ->
+          Tr.with_span "enclosing" (fun () ->
+              Lg.info (fun () -> ("from inside", [])));
+          Lg.info (fun () -> ("from outside", []))));
+  let span_id =
+    match Tr.events t with
+    | [ e ] -> e.Tr.id
+    | es -> Alcotest.failf "expected 1 span, got %d" (List.length es)
+  in
+  (match log_lines buf with
+  | [ inside; outside ] ->
+    Alcotest.(check bool) "inside stamped with span id" true
+      (contains inside (Printf.sprintf "(span %d)" span_id));
+    Alcotest.(check bool) "outside has no span stamp" false
+      (contains outside "(span ")
+  | ls -> Alcotest.failf "expected 2 text lines, got %d" (List.length ls));
+  match log_lines jbuf with
+  | [ inside; outside ] ->
+    Alcotest.(check bool) "json inside has span" true
+      (contains inside (Printf.sprintf {|"span":%d|} span_id));
+    Alcotest.(check bool) "json outside omits span" false
+      (contains outside {|"span":|})
+  | ls -> Alcotest.failf "expected 2 JSON lines, got %d" (List.length ls)
+
+(* ---------------------------------------------------------------- *)
+(* Flight recorder                                                   *)
+
+let test_flight_disabled_noop () =
+  Fl.set_enabled false;
+  Fl.clear ();
+  Fl.record ~kind:"log" ~level:"info" ~name:"dropped" [];
+  Alcotest.(check int) "disabled record drops" 0 (List.length (Fl.events ()))
+
+let test_flight_wraparound () =
+  Fl.clear ();
+  let extra = 50 in
+  Fl.with_enabled true (fun () ->
+      for i = 1 to Fl.capacity + extra do
+        Fl.record ~kind:"log" ~level:"info" ~name:(string_of_int i) []
+      done);
+  let evs = Fl.events () in
+  Alcotest.(check int) "ring keeps exactly capacity" Fl.capacity
+    (List.length evs);
+  (match evs with
+  | first :: _ ->
+    Alcotest.(check string) "oldest surviving event" (string_of_int (extra + 1))
+      first.Fl.fl_name
+  | [] -> assert false);
+  let last = List.nth evs (List.length evs - 1) in
+  Alcotest.(check string) "newest event"
+    (string_of_int (Fl.capacity + extra))
+    last.Fl.fl_name;
+  Fl.clear ();
+  Alcotest.(check int) "clear drops everything" 0 (List.length (Fl.events ()))
+
+let test_flight_captures_spans_and_low_logs () =
+  Fl.clear ();
+  (* No trace sink, and a log sink that filters everything below Error:
+     the ring still sees both the span and the debug record. *)
+  let sink = Lg.create ~min_level:Lg.Error () in
+  Fl.with_enabled true (fun () ->
+      Lg.with_enabled sink (fun () ->
+          Tr.with_span "ringed" ~attrs:[ ("k", Tr.Int 7) ] (fun () ->
+              Lg.debug (fun () -> ("below the sink level", [])))));
+  let evs = Fl.events () in
+  let find name =
+    match List.find_opt (fun e -> e.Fl.fl_name = name) evs with
+    | Some e -> e
+    | None -> Alcotest.failf "flight event %s missing" name
+  in
+  let span = find "ringed" in
+  Alcotest.(check string) "span kind" "span" span.Fl.fl_kind;
+  Alcotest.(check (option string)) "span attr rendered" (Some "7")
+    (List.assoc_opt "k" span.Fl.fl_detail);
+  let low = find "below the sink level" in
+  Alcotest.(check string) "log kind" "log" low.Fl.fl_kind;
+  Alcotest.(check string) "level preserved" "debug" low.Fl.fl_level;
+  Fl.clear ()
+
+let test_flight_dump_json () =
+  Fl.clear ();
+  Fl.with_enabled true (fun () ->
+      Fl.record ~kind:"log" ~level:"warn" ~name:"hostile \xff name"
+        [ ("k", "v\"q") ];
+      Fl.record ~kind:"span" ~level:"span" ~name:"s" []);
+  let path = Filename.temp_file "t_obs_flight" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Fl.dump_json oc);
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let lines =
+        String.split_on_char '\n' text
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "one line per event" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "dump line is valid JSON" true (json_accepts l))
+        lines;
+      Alcotest.(check bool) "hostile byte sanitized" true
+        (contains text "hostile \xef\xbf\xbd name"));
+  Fl.clear ()
+
+(* ---------------------------------------------------------------- *)
+(* GC profiling on spans                                             *)
+
+let sink_of_array a = Array.fold_left ( +. ) 0. a
+
+let test_span_gc_attribution () =
+  let t = Tr.create () in
+  let acc =
+    Tr.with_enabled t (fun () ->
+        Tr.with_span "alloc-heavy" (fun () ->
+            (* ~200k words of float arrays: enough to force minor
+               allocation whatever the GC settings. *)
+            let acc = ref 0. in
+            for _ = 1 to 100 do
+              acc := !acc +. sink_of_array (Array.make 2048 1.)
+            done;
+            !acc))
+  in
+  Alcotest.(check bool) "result intact" true (acc = 204800.);
+  let e = find_span (Tr.events t) "alloc-heavy" in
+  Alcotest.(check bool) "minor words counted" true (e.Tr.gc_minor_words > 0.);
+  Alcotest.(check bool) "allocated_words positive" true
+    (Tr.allocated_words e > 0.);
+  Alcotest.(check bool) "gc counters non-negative" true
+    (e.Tr.gc_minor_collections >= 0 && e.Tr.gc_major_collections >= 0);
+  (* The aggregate rolls the same numbers up. *)
+  let agg =
+    List.find (fun (a : Tr.agg) -> a.Tr.agg_name = "alloc-heavy") (Tr.aggregate t)
+  in
+  Alcotest.(check bool) "aggregate allocation positive" true
+    (agg.Tr.total_allocated_words > 0.);
+  (* And the exporter surfaces them as args. *)
+  let json = Tr.to_chrome_json t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("export contains " ^ needle) true
+        (contains json needle))
+    [ {|"gc_minor_words"|}; {|"gc_minor_collections"|} ]
+
 (* ---------------------------------------------------------------- *)
 (* Metrics                                                           *)
 
@@ -426,15 +685,27 @@ let check_segments_bit_identical clean dirty =
     clean
 
 let test_telemetry_equivalence =
-  qcheck ~count:8 "tracing + metrics leave analysis results bit-identical"
+  qcheck ~count:8
+    "tracing + metrics + logging + flight leave analysis results bit-identical"
     QCheck2.Gen.(int_range 1 4)
     (fun jobs ->
       let compacts, clean = Lazy.force equiv_fixture in
       let t = Tr.create () in
+      let sink =
+        Lg.create ~min_level:Lg.Debug
+          ~text:(Lg.Buffer (Buffer.create 4096))
+          ~json:(Lg.Buffer (Buffer.create 4096))
+          ()
+      in
+      Fl.clear ();
       let traced =
         Mx.with_enabled true (fun () ->
-            Tr.with_enabled t (fun () -> Flow.run_on_compact ~jobs compacts))
+            Tr.with_enabled t (fun () ->
+                Lg.with_enabled sink (fun () ->
+                    Fl.with_enabled true (fun () ->
+                        Flow.run_on_compact ~jobs compacts))))
       in
+      Fl.clear ();
       Alcotest.(check bool) "confusion counts identical" true
         (clean.Flow.counts = traced.Flow.counts);
       check_segments_bit_identical clean.Flow.segments traced.Flow.segments;
@@ -459,7 +730,24 @@ let suites =
       [
         case "acceptor sanity" test_json_acceptor_sanity;
         case "export is well-formed and complete" test_chrome_export;
+        case "hostile names stay valid JSON" test_chrome_export_hostile_names;
       ] );
+    ( "obs.log",
+      [
+        case "disabled never runs the thunk" test_log_disabled_noop;
+        case "level filtering and text format" test_log_level_filter;
+        case "JSON sink emits valid lines" test_log_json_sink;
+        case "records correlate with the open span" test_log_span_correlation;
+      ] );
+    ( "obs.flight",
+      [
+        case "disabled record drops" test_flight_disabled_noop;
+        case "ring wraps past capacity" test_flight_wraparound;
+        case "captures spans and filtered logs"
+          test_flight_captures_spans_and_low_logs;
+        case "JSON dump is valid line-by-line" test_flight_dump_json;
+      ] );
+    ("obs.gc", [ case "span GC deltas attributed" test_span_gc_attribution ]);
     ( "obs.metrics",
       [
         case "counter gating and idempotence" test_counter_basics;
