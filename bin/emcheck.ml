@@ -153,17 +153,80 @@ let parse_recoveries =
   Obs.Metrics.counter ~help:"Malformed netlist lines skipped in recovery mode"
     "em_parse_recoveries_total"
 
-(* Install the requested sinks; returns the trace buffer so the caller
-   can export it once the run is over. *)
-let start_telemetry ~trace_path ~metrics_path =
-  if Option.is_some metrics_path || Option.is_some trace_path then
-    Obs.Metrics.set_enabled true;
-  match trace_path with
-  | None -> None
-  | Some _ ->
-    let t = Obs.Trace.create () in
-    Obs.Trace.enable t;
-    Some t
+(* ------------------------------------------------------------------ *)
+(* Sampling profiler plumbing (emcheck analyze/stats --profile)        *)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Run the sampling profiler during the analysis (a ticker domain \
+           samples every domain's open span stack) and write the aggregated \
+           profile to $(docv) — speedscope JSON by default \
+           (https://www.speedscope.app), or folded stacks for flamegraph.pl \
+           with $(b,--profile-format folded). Implies span tracing for the \
+           run even without $(b,--trace).")
+
+let profile_rate_arg =
+  Arg.(
+    value
+    & opt float Obs.Profile.default_rate_hz
+    & info [ "profile-rate" ] ~docv:"HZ"
+        ~doc:"Sampling rate for $(b,--profile) in Hz (default ~997).")
+
+let profile_format_arg =
+  let formats = [ ("speedscope", `Speedscope); ("folded", `Folded) ] in
+  Arg.(
+    value
+    & opt (enum formats) `Speedscope
+    & info [ "profile-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Profile output format: $(b,speedscope) (JSON, one lane per \
+           domain) or $(b,folded) (flamegraph.pl folded stacks).")
+
+(* Install the requested sinks; returns the trace buffer (the caller
+   exports it once the run is over) and the running sampler, if any.
+   --profile implies a trace: the sampler reads the span stacks that
+   only an enabled trace maintains. *)
+let start_telemetry ~trace_path ~metrics_path ~profile_path ~profile_rate =
+  if
+    Option.is_some metrics_path || Option.is_some trace_path
+    || Option.is_some profile_path
+  then Obs.Metrics.set_enabled true;
+  let trace =
+    if Option.is_some trace_path || Option.is_some profile_path then begin
+      let t = Obs.Trace.create () in
+      Obs.Trace.enable t;
+      Some t
+    end
+    else None
+  in
+  let sampler =
+    Option.map (fun _ -> Obs.Profile.start ~rate_hz:profile_rate ()) profile_path
+  in
+  (trace, sampler)
+
+let export_profile ~profile_path ~profile_format trace profile =
+  match (profile_path, profile) with
+  | Some out, Some (p : Obs.Profile.profile) ->
+    let track_names =
+      match trace with Some t -> Obs.Trace.track_names t | None -> []
+    in
+    (match profile_format with
+    | `Folded -> Obs.Profile.write_file out (Obs.Profile.to_folded ~track_names p)
+    | `Speedscope ->
+      Obs.Profile.write_file out
+        (Obs.Profile.to_speedscope ~name:(Filename.basename out) ~track_names p));
+    Printf.printf "Profile (%d samples at %.0f Hz over %.2fs) written to %s%s\n"
+      p.Obs.Profile.total_samples p.Obs.Profile.rate_hz
+      (p.Obs.Profile.duration_us /. 1e6)
+      out
+      (match profile_format with
+      | `Speedscope -> "; open in https://www.speedscope.app"
+      | `Folded -> "; render with flamegraph.pl")
+  | _ -> ()
 
 let write_file path contents =
   let oc = open_out path in
@@ -185,6 +248,40 @@ let export_telemetry ~trace_path ~metrics_path trace =
                    https://ui.perfetto.dev\n"
       (Obs.Trace.num_events t) out
   | _ -> ()
+
+(* Top-K hot-path table: exact self-time attribution from the completed
+   spans, with statistical sample counts when the profiler ran. *)
+let print_hot_paths ?profile ~top trace =
+  match Obs.Profile.attribute ?profile trace with
+  | [] -> ()
+  | paths ->
+    let wall_us = Obs.Profile.span_wall_us trace in
+    let table =
+      Rp.create
+        [ "hot path"; "count"; "samples"; "self ms"; "total ms"; "% wall";
+          "self alloc Mw" ]
+    in
+    List.iteri
+      (fun i (h : Obs.Profile.hot_path) ->
+        if i < top then
+          Rp.add_row table
+            [
+              Obs.Profile.path_to_string h.Obs.Profile.hp_path;
+              Rp.int_cell h.Obs.Profile.hp_count;
+              Rp.int_cell h.Obs.Profile.hp_samples;
+              Printf.sprintf "%.3f" (h.Obs.Profile.hp_self_us /. 1e3);
+              Printf.sprintf "%.3f" (h.Obs.Profile.hp_total_us /. 1e3);
+              (if wall_us > 0. then
+                 Printf.sprintf "%.1f"
+                   (100. *. h.Obs.Profile.hp_self_us /. wall_us)
+               else "-");
+              Printf.sprintf "%.2f" (h.Obs.Profile.hp_self_alloc_words /. 1e6);
+            ])
+      paths;
+    Printf.printf "\nHot paths (top %d of %d by self-time):\n"
+      (min top (List.length paths))
+      (List.length paths);
+    Rp.print table
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -214,9 +311,12 @@ let exit_code_of_diags ~strict diags =
   else 0
 
 let analyze_netlist path tech sigma_t temperature with_maxpath top fix
-    json_path html_path keep_going strict max_errors trace_path metrics_path =
+    json_path html_path keep_going strict max_errors trace_path metrics_path
+    profile_path profile_rate profile_format =
   let material = material_of ~sigma_t ~temperature in
-  let trace = start_telemetry ~trace_path ~metrics_path in
+  let trace, sampler =
+    start_telemetry ~trace_path ~metrics_path ~profile_path ~profile_rate
+  in
   let netlist, parse_diags =
     if keep_going then begin
       let netlist, errs = Spice.Parser.parse_file_tolerant ~max_errors path in
@@ -309,6 +409,9 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     else []
   in
   let diags = parse_diags @ lint_diags @ r.Flow.diags @ blech_diags in
+  (* Stop sampling before report emission: the profile feeds the hot-path
+     sample counts in the JSON telemetry and the exported profile file. *)
+  let profile = Option.map Obs.Profile.stop sampler in
   (match html_path with
   | None -> ()
   | Some out ->
@@ -334,7 +437,7 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
         (* Embed the run's telemetry when it was collected, so one JSON
            file carries both the verdicts and the run profile. *)
         if Obs.Metrics.is_enabled () then
-          [ ("telemetry", Emflow.Json_out.of_telemetry ()) ]
+          [ ("telemetry", Emflow.Json_out.of_telemetry ?profile ()) ]
         else [])
     in
     let oc = open_out out in
@@ -343,6 +446,7 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
       (fun () -> Emflow.Json_out.to_channel oc doc);
     Printf.printf "JSON report written to %s\n" out);
   export_telemetry ~trace_path ~metrics_path trace;
+  export_profile ~profile_path ~profile_format trace profile;
   if diags <> [] then begin
     Format.printf "Diagnostics (%a):@." Dg.pp_summary diags;
     List.iter (fun d -> Format.printf "  %a@." Dg.pp d) diags
@@ -420,7 +524,8 @@ let analyze_cmd =
       ret
         (const (fun path tech sigma_t temperature with_maxpath top fix json
                     html keep_going strict max_errors trace_path metrics_path
-                    log_level log_json flight_dump ->
+                    profile_path profile_rate profile_format log_level log_json
+                    flight_dump ->
              let finish_log = start_logging ~log_level ~log_json in
              (* The flight recorder is always armed during analyze; its
                 ring only surfaces on failure. *)
@@ -433,7 +538,7 @@ let analyze_cmd =
                match
                  analyze_netlist path tech sigma_t temperature with_maxpath
                    top fix json html keep_going strict max_errors trace_path
-                   metrics_path
+                   metrics_path profile_path profile_rate profile_format
                with
                | `Ok n ->
                  if n <> 0 then dump_flight ~flight_dump ();
@@ -449,7 +554,8 @@ let analyze_cmd =
              r)
         $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ with_maxpath $ top
         $ fix $ json_path $ html_path $ keep_going $ strict $ max_errors
-        $ trace_arg $ metrics_arg $ log_level_arg $ log_json_arg
+        $ trace_arg $ metrics_arg $ profile_arg $ profile_rate_arg
+        $ profile_format_arg $ log_level_arg $ log_json_arg
         $ flight_dump_arg))
   in
   Cmd.v
@@ -471,14 +577,20 @@ let analyze_cmd =
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 
-(* Run the full pipeline with telemetry forced on and print the span and
-   metric rollups as tables — the terminal-only view of what --trace /
-   --metrics export for external tools. *)
-let stats_netlist path tech sigma_t temperature jobs trace_path metrics_path =
+(* Run the full pipeline with telemetry forced on and print the span,
+   hot-path and metric rollups as tables (each bounded to --top rows) —
+   the terminal-only view of what --trace / --metrics / --profile export
+   for external tools. *)
+let stats_netlist path tech sigma_t temperature jobs top trace_path
+    metrics_path profile_path profile_rate profile_format =
+  if top < 1 then invalid_arg "stats: --top must be at least 1";
   let material = material_of ~sigma_t ~temperature in
   let trace = Obs.Trace.create () in
   Obs.Trace.enable trace;
   Obs.Metrics.set_enabled true;
+  let sampler =
+    Option.map (fun _ -> Obs.Profile.start ~rate_hz:profile_rate ()) profile_path
+  in
   let netlist = Spice.Parser.parse_file path in
   let p = Emflow.Pipeline.create () in
   let sol = Emflow.Pipeline.run p "solve" (fun () -> Spice.Mna.solve netlist) in
@@ -487,8 +599,15 @@ let stats_netlist path tech sigma_t temperature jobs trace_path metrics_path =
         Emflow.Extract.extract_compact ~tech sol)
   in
   let r = Flow.run_on_compact ~material ?jobs ~pipeline:p compacts in
+  let profile = Option.map Obs.Profile.stop sampler in
   Format.printf "%a@.@." Flow.pp_summary r;
   let telemetry_notice = "telemetry disabled — run with --trace/--metrics" in
+  let bounded name xs =
+    let n = List.length xs in
+    if n > top then Printf.printf "%s (top %d of %d):\n" name top n
+    else Printf.printf "%s:\n" name;
+    List.filteri (fun i _ -> i < top) xs
+  in
   (match Obs.Trace.aggregate trace with
   | [] -> Printf.printf "Span summary: %s\n" telemetry_notice
   | aggs ->
@@ -496,6 +615,14 @@ let stats_netlist path tech sigma_t temperature jobs trace_path metrics_path =
       Rp.create
         [ "span"; "count"; "total ms"; "max ms"; "alloc Mw"; "minor/major GCs";
           "errors" ]
+    in
+    (* Busiest spans first so the --top cut keeps the interesting rows. *)
+    let aggs =
+      List.sort
+        (fun (a : Obs.Trace.agg) (b : Obs.Trace.agg) ->
+          Float.compare b.Obs.Trace.total_us a.Obs.Trace.total_us)
+        aggs
+      |> bounded "Span summary"
     in
     List.iter
       (fun (a : Obs.Trace.agg) ->
@@ -511,12 +638,14 @@ let stats_netlist path tech sigma_t temperature jobs trace_path metrics_path =
             Rp.int_cell a.Obs.Trace.errors;
           ])
       aggs;
-    Printf.printf "Span summary:\n";
     Rp.print span_table);
+  print_hot_paths ?profile ~top trace;
   (match Obs.Metrics.snapshot () with
   | [] -> Printf.printf "\nMetrics: %s\n" telemetry_notice
   | samples ->
     let metric_table = Rp.create [ "metric"; "labels"; "value" ] in
+    print_newline ();
+    let samples = bounded "Metrics" samples in
     List.iter
       (fun (s : Obs.Metrics.sample) ->
         let labels =
@@ -532,9 +661,9 @@ let stats_netlist path tech sigma_t temperature jobs trace_path metrics_path =
         in
         Rp.add_row metric_table [ s.Obs.Metrics.s_name; labels; value ])
       samples;
-    Printf.printf "\nMetrics:\n";
     Rp.print metric_table);
   export_telemetry ~trace_path ~metrics_path (Some trace);
+  export_profile ~profile_path ~profile_format (Some trace) profile;
   (* stats forced the collectors on; don't leak that past the command. *)
   Obs.Trace.disable ();
   Obs.Metrics.set_enabled false;
@@ -554,16 +683,26 @@ let stats_cmd =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Worker domains for the analysis stage.")
   in
+  let top =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N"
+          ~doc:
+            "Bound every aggregate table (span summary, hot paths, metrics) \
+             to its $(docv) most significant rows (default 20).")
+  in
   let term =
     Term.(
       ret
-        (const (fun path tech sigma_t temperature jobs trace_path metrics_path
+        (const (fun path tech sigma_t temperature jobs top trace_path
+                    metrics_path profile_path profile_rate profile_format
                     log_level log_json ->
              let finish_log = start_logging ~log_level ~log_json in
              let r =
                match
-                 stats_netlist path tech sigma_t temperature jobs trace_path
-                   metrics_path
+                 stats_netlist path tech sigma_t temperature jobs top
+                   trace_path metrics_path profile_path profile_rate
+                   profile_format
                with
                | `Ok n -> `Ok n
                | exception Spice.Parser.Parse_error { line; message } ->
@@ -571,11 +710,13 @@ let stats_cmd =
                | exception Spice.Mna.Unsupported msg ->
                  `Error (false, "unsupported netlist: " ^ msg)
                | exception Failure msg -> `Error (false, msg)
+               | exception Invalid_argument msg -> `Error (false, msg)
              in
              finish_log ();
              r)
-        $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ jobs $ trace_arg
-        $ metrics_arg $ log_level_arg $ log_json_arg))
+        $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ jobs $ top
+        $ trace_arg $ metrics_arg $ profile_arg $ profile_rate_arg
+        $ profile_format_arg $ log_level_arg $ log_json_arg))
   in
   Cmd.v
     (Cmd.info "stats"

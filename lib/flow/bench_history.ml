@@ -66,6 +66,7 @@ let obs_metrics doc =
       | None -> None)
     [
       "off_s"; "metrics_on_ratio"; "trace_on_ratio";
+      "profile_off_ratio"; "profile_on_ratio"; "profile_snapshot_ns";
       "disabled_counter_inc_ns"; "disabled_span_ns";
       "estimated_disabled_overhead_pct";
     ]

@@ -63,9 +63,17 @@ let run_slots ~jobs ~local f xs =
         (* Label the lane so the trace viewer shows worker-N rather than a
            bare domain id; worker 0 is the caller's domain ("main"). *)
         if w > 0 then Obs.Trace.name_track (Printf.sprintf "worker-%d" w);
-        Obs.Trace.with_span
-          ~attrs:[ ("worker", Obs.Trace.Int w); ("items", Obs.Trace.Int len) ]
-          "parallel.chunk" run_chunk
+        Fun.protect
+          ~finally:(fun () ->
+            (* The worker domain dies at join; withdraw its published
+               span stack so the sampling profiler's registry holds
+               only live lanes. *)
+            if w > 0 then Obs.Trace.retire_stack ())
+          (fun () ->
+            Obs.Trace.with_span
+              ~attrs:
+                [ ("worker", Obs.Trace.Int w); ("items", Obs.Trace.Int len) ]
+              "parallel.chunk" run_chunk)
       end
       else run_chunk ()
     in

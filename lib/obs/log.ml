@@ -149,3 +149,11 @@ let info make = log Info make
 let warn make = log Warn make
 
 let error make = log Error make
+
+(* Trace sits below Log in the module order, so it reports span-buffer
+   overflow through a callback installed here (once per buffer). *)
+let () =
+  Trace.set_drop_warner (fun capacity ->
+      warn (fun () ->
+          ( "trace span buffer full; dropping further spans",
+            [ ("capacity", Trace.Int capacity) ] )))

@@ -1,0 +1,356 @@
+(* Sampling profiler over the per-domain span stacks Trace publishes.
+
+   A dedicated ticker domain wakes at the configured rate and snapshots
+   every registered domain's currently-open span stack
+   (Trace.stack_snapshots — lock-free, allocation-free for the sampled
+   domains). Observations are aggregated in the ticker domain into
+   folded call stacks keyed by (track, span-name path). Alongside the
+   statistical view, [attribute] computes *exact* self-vs-total time
+   (and allocation) per span path from the completed-span buffer:
+   self = duration - sum of direct children, which telescopes so the
+   self-times of a trace sum to exactly the durations of its roots. *)
+
+type sample = { smp_track : int; smp_stack : string list; smp_count : int }
+
+type profile = {
+  rate_hz : float;
+  ticks : int;
+  total_samples : int;
+  duration_us : float;
+  samples : sample list;
+}
+
+let default_rate_hz = 997.
+
+(* Deterministic sample order: by track, then lexicographically by
+   stack — so folded output and exports are reproducible functions of
+   the observation multiset. *)
+let sort_samples samples =
+  List.sort
+    (fun a b ->
+      match compare a.smp_track b.smp_track with
+      | 0 -> compare a.smp_stack b.smp_stack
+      | c -> c)
+    samples
+
+let profile_of_stacks ?(rate_hz = default_rate_hz) ?(ticks = 0)
+    ?(duration_us = 0.) stacks =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun ((_track, stack) as key) ->
+      if stack <> [] then begin
+        match Hashtbl.find_opt tbl key with
+        | Some r -> incr r
+        | None ->
+          order := key :: !order;
+          Hashtbl.add tbl key (ref 1)
+      end)
+    stacks;
+  let samples =
+    List.rev_map
+      (fun ((track, stack) as key) ->
+        { smp_track = track; smp_stack = stack;
+          smp_count = !(Hashtbl.find tbl key) })
+      !order
+    |> sort_samples
+  in
+  let total = List.fold_left (fun acc s -> acc + s.smp_count) 0 samples in
+  { rate_hz; ticks; total_samples = total; duration_us; samples }
+
+(* ------------------------------------------------------------------ *)
+(* The ticker                                                          *)
+
+type sampler = {
+  s_rate : float;
+  s_stop : bool Atomic.t;
+  s_domain : profile Domain.t;
+}
+
+let running_flag = Atomic.make false
+
+let is_running () = Atomic.get running_flag
+
+let start ?(rate_hz = default_rate_hz) () =
+  if not (Float.is_finite rate_hz) || rate_hz <= 0. then
+    invalid_arg "Profile.start: rate must be a positive finite frequency";
+  if not (Atomic.compare_and_set running_flag false true) then
+    invalid_arg "Profile.start: a sampler is already running";
+  let stop = Atomic.make false in
+  let period = 1. /. rate_hz in
+  let domain =
+    Domain.spawn (fun () ->
+        (* All aggregation state lives in the ticker domain; the
+           sampled domains only ever execute their own span pushes. *)
+        let raw = ref [] in
+        let ticks = ref 0 in
+        let t0 = Clock.now_us () in
+        let live = ref true in
+        (* Always observe at least once, and exit without sleeping when
+           stopped so [stop] latency is one snapshot, not one period. *)
+        while !live do
+          incr ticks;
+          List.iter
+            (fun obs -> raw := obs :: !raw)
+            (Trace.stack_snapshots ());
+          if Atomic.get stop then live := false else Unix.sleepf period
+        done;
+        let duration_us = Clock.now_us () -. t0 in
+        profile_of_stacks ~rate_hz ~ticks:!ticks ~duration_us !raw)
+  in
+  { s_rate = rate_hz; s_stop = stop; s_domain = domain }
+
+let rate s = s.s_rate
+
+let stop s =
+  Atomic.set s.s_stop true;
+  let p = Domain.join s.s_domain in
+  Atomic.set running_flag false;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Folded-stacks export (flamegraph.pl)                                *)
+
+let lane_name track_names track =
+  match List.assoc_opt track track_names with
+  | Some n -> n
+  | None -> Printf.sprintf "track-%d" track
+
+let to_folded ?(track_names = []) p =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (String.concat ";" (lane_name track_names s.smp_track :: s.smp_stack));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int s.smp_count);
+      Buffer.add_char buf '\n')
+    p.samples;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Speedscope export                                                   *)
+
+(* One "sampled" profile per track; frames are shared across profiles
+   and indexed in first-appearance order over the (deterministically
+   sorted) samples. *)
+let to_speedscope ?(name = "emcheck profile") ?(track_names = []) p =
+  let frames = Hashtbl.create 64 in
+  let rev_frame_names = ref [] in
+  let n_frames = ref 0 in
+  let frame_idx fname =
+    match Hashtbl.find_opt frames fname with
+    | Some i -> i
+    | None ->
+      let i = !n_frames in
+      Hashtbl.add frames fname i;
+      rev_frame_names := fname :: !rev_frame_names;
+      incr n_frames;
+      i
+  in
+  let tracks =
+    List.sort_uniq compare (List.map (fun s -> s.smp_track) p.samples)
+  in
+  let per_track =
+    List.map
+      (fun track ->
+        let samples =
+          List.filter (fun s -> s.smp_track = track) p.samples
+        in
+        let indexed =
+          List.map
+            (fun s -> (List.map frame_idx s.smp_stack, s.smp_count))
+            samples
+        in
+        (track, indexed))
+      tracks
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",\
+     \"exporter\":\"emcheck\",\"name\":";
+  Jsonx.add_string buf name;
+  Buffer.add_string buf ",\"activeProfileIndex\":0,\"shared\":{\"frames\":[";
+  List.iteri
+    (fun i fname ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"name\":";
+      Jsonx.add_string buf fname;
+      Buffer.add_char buf '}')
+    (List.rev !rev_frame_names);
+  Buffer.add_string buf "]},\"profiles\":[";
+  let emit_profile i (lane, indexed) =
+    if i > 0 then Buffer.add_char buf ',';
+    Buffer.add_string buf "{\"type\":\"sampled\",\"name\":";
+    Jsonx.add_string buf lane;
+    Buffer.add_string buf ",\"unit\":\"none\",\"startValue\":0,\"endValue\":";
+    let total = List.fold_left (fun acc (_, w) -> acc + w) 0 indexed in
+    Buffer.add_string buf (string_of_int total);
+    Buffer.add_string buf ",\"samples\":[";
+    List.iteri
+      (fun j (stack, _) ->
+        if j > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun k idx ->
+            if k > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (string_of_int idx))
+          stack;
+        Buffer.add_char buf ']')
+      indexed;
+    Buffer.add_string buf "],\"weights\":[";
+    List.iteri
+      (fun j (_, w) ->
+        if j > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int w))
+      indexed;
+    Buffer.add_string buf "]}"
+  in
+  (* Speedscope requires at least one profile; an idle run exports one
+     empty lane rather than an unloadable file. *)
+  (match per_track with
+  | [] -> emit_profile 0 ("main", [])
+  | _ ->
+    List.iteri
+      (fun i (track, indexed) ->
+        emit_profile i (lane_name track_names track, indexed))
+      per_track);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* ------------------------------------------------------------------ *)
+(* Exact self-time attribution from the completed-span buffer          *)
+
+type hot_path = {
+  hp_path : string list;
+  hp_count : int;
+  hp_total_us : float;
+  hp_self_us : float;
+  hp_alloc_words : float;
+  hp_self_alloc_words : float;
+  hp_samples : int;
+}
+
+let span_wall_us t =
+  let by_id = Hashtbl.create 256 in
+  let evs = Trace.events t in
+  List.iter (fun (e : Trace.event) -> Hashtbl.replace by_id e.Trace.id e) evs;
+  (* A span whose parent was evicted by the buffer cap counts as a root:
+     its time is not covered by any surviving ancestor. *)
+  List.fold_left
+    (fun acc (e : Trace.event) ->
+      let is_root =
+        match e.Trace.parent with
+        | None -> true
+        | Some p -> not (Hashtbl.mem by_id p)
+      in
+      if is_root then acc +. e.Trace.dur_us else acc)
+    0. evs
+
+let attribute ?profile t =
+  let evs = Trace.events t in
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun (e : Trace.event) -> Hashtbl.replace by_id e.Trace.id e) evs;
+  (* Root-first name path per span, memoized over the parent chain. *)
+  let paths = Hashtbl.create 256 in
+  let rec path_of (e : Trace.event) =
+    match Hashtbl.find_opt paths e.Trace.id with
+    | Some p -> p
+    | None ->
+      let p =
+        match e.Trace.parent with
+        | None -> [ e.Trace.name ]
+        | Some pid -> begin
+          match Hashtbl.find_opt by_id pid with
+          | None -> [ e.Trace.name ] (* parent evicted: treat as root *)
+          | Some parent -> path_of parent @ [ e.Trace.name ]
+        end
+      in
+      Hashtbl.replace paths e.Trace.id p;
+      p
+  in
+  (* Direct-children rollups, keyed by parent id. *)
+  let child_dur = Hashtbl.create 256 in
+  let child_alloc = Hashtbl.create 256 in
+  let bump tbl key v =
+    Hashtbl.replace tbl key
+      (v +. match Hashtbl.find_opt tbl key with Some x -> x | None -> 0.)
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.parent with
+      | Some p when Hashtbl.mem by_id p ->
+        bump child_dur p e.Trace.dur_us;
+        bump child_alloc p (Trace.allocated_words e)
+      | _ -> ())
+    evs;
+  (* Statistical sample counts by exact stack path (lanes merged: the
+     table aggregates identical paths across workers). *)
+  let sample_counts = Hashtbl.create 64 in
+  (match profile with
+  | None -> ()
+  | Some p ->
+    List.iter
+      (fun s ->
+        let cur =
+          match Hashtbl.find_opt sample_counts s.smp_stack with
+          | Some n -> n
+          | None -> 0
+        in
+        Hashtbl.replace sample_counts s.smp_stack (cur + s.smp_count))
+      p.samples);
+  (* Aggregate by path. *)
+  let agg = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      let path = path_of e in
+      let sub tbl =
+        match Hashtbl.find_opt tbl e.Trace.id with Some v -> v | None -> 0.
+      in
+      (* Clamped at zero: nesting guarantees children are contained, so
+         any negative residue is float rounding, not real time. *)
+      let self_us = Float.max 0. (e.Trace.dur_us -. sub child_dur) in
+      let alloc = Trace.allocated_words e in
+      let self_alloc = Float.max 0. (alloc -. sub child_alloc) in
+      let cur =
+        match Hashtbl.find_opt agg path with
+        | Some h -> h
+        | None ->
+          order := path :: !order;
+          {
+            hp_path = path;
+            hp_count = 0;
+            hp_total_us = 0.;
+            hp_self_us = 0.;
+            hp_alloc_words = 0.;
+            hp_self_alloc_words = 0.;
+            hp_samples =
+              (match Hashtbl.find_opt sample_counts path with
+              | Some n -> n
+              | None -> 0);
+          }
+      in
+      Hashtbl.replace agg path
+        {
+          cur with
+          hp_count = cur.hp_count + 1;
+          hp_total_us = cur.hp_total_us +. e.Trace.dur_us;
+          hp_self_us = cur.hp_self_us +. self_us;
+          hp_alloc_words = cur.hp_alloc_words +. alloc;
+          hp_self_alloc_words = cur.hp_self_alloc_words +. self_alloc;
+        })
+    evs;
+  List.rev_map (Hashtbl.find agg) !order
+  |> List.sort (fun a b ->
+         match Float.compare b.hp_self_us a.hp_self_us with
+         | 0 -> compare a.hp_path b.hp_path
+         | c -> c)
+
+let path_to_string path = String.concat ";" path

@@ -1,0 +1,403 @@
+open T_helpers
+module Tr = Obs.Trace
+module Pf = Obs.Profile
+module Mx = Obs.Metrics
+module Lg = Obs.Log
+module Jin = Emflow.Json_in
+module Jout = Emflow.Json_out
+
+(* ---------------------------------------------------------------- *)
+(* Folded aggregation and export: deterministic on synthetic stacks  *)
+
+let synthetic_stacks =
+  [
+    (0, [ "root"; "child" ]);
+    (0, [ "root" ]);
+    (1, [ "root"; "child" ]);
+    (0, [ "root"; "child" ]);
+    (0, []);
+    (* empty stacks are idle observations, dropped *)
+    (1, [ "other" ]);
+  ]
+
+let test_profile_of_stacks () =
+  let p = Pf.profile_of_stacks synthetic_stacks in
+  Alcotest.(check int) "empty stacks ignored" 5 p.Pf.total_samples;
+  Alcotest.(check int) "distinct (track, stack) keys" 4
+    (List.length p.Pf.samples);
+  let counts =
+    List.map (fun s -> (s.Pf.smp_track, s.Pf.smp_stack, s.Pf.smp_count)) p.Pf.samples
+  in
+  Alcotest.(check bool) "sorted by track then stack with summed counts" true
+    (counts
+    = [
+        (0, [ "root" ], 1); (0, [ "root"; "child" ], 2); (1, [ "other" ], 1);
+        (1, [ "root"; "child" ], 1);
+      ])
+
+let test_folded_output () =
+  let p = Pf.profile_of_stacks synthetic_stacks in
+  let folded = Pf.to_folded ~track_names:[ (0, "main"); (1, "worker-1") ] p in
+  Alcotest.(check string) "folded lines, lanes resolved"
+    "main;root 1\nmain;root;child 2\nworker-1;other 1\nworker-1;root;child 1\n"
+    folded;
+  (* Unknown tracks fall back to track-N. *)
+  let fallback = Pf.to_folded (Pf.profile_of_stacks [ (7, [ "x" ]) ]) in
+  Alcotest.(check string) "track fallback" "track-7;x 1\n" fallback
+
+let test_folded_permutation_invariant =
+  qcheck ~count:50 "folded output is a function of the observation multiset"
+    QCheck2.Gen.(list_size (int_range 0 30) (int_range 0 5))
+    (fun picks ->
+      (* Build an observation list by indexing a fixed universe, then
+         compare against the same multiset in sorted order. *)
+      let universe =
+        [|
+          (0, [ "a" ]); (0, [ "a"; "b" ]); (0, [ "a"; "c" ]); (1, [ "a" ]);
+          (1, [ "d"; "e" ]); (2, [ "f" ]);
+        |]
+      in
+      let obs = List.map (fun i -> universe.(i)) picks in
+      let sorted = List.sort compare obs in
+      Pf.to_folded (Pf.profile_of_stacks obs)
+      = Pf.to_folded (Pf.profile_of_stacks sorted))
+
+(* ---------------------------------------------------------------- *)
+(* Exact attribution invariants                                      *)
+
+(* A busy loop long enough for span durations to be nonzero at the
+   clock's resolution, so containment inequalities are meaningful. *)
+let spin () =
+  let x = ref 0. in
+  for i = 1 to 20_000 do
+    x := !x +. float_of_int i
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let nested_trace () =
+  let t = Tr.create () in
+  Tr.with_enabled t (fun () ->
+      Tr.with_span "root" (fun () ->
+          Tr.with_span "solve" (fun () ->
+              Tr.with_span "cg" (fun () -> spin ());
+              Tr.with_span "cg" (fun () -> spin ()));
+          Tr.with_span "classify" (fun () -> spin ()));
+      Tr.with_span "report" (fun () -> spin ()));
+  t
+
+let find_path paths p =
+  match List.find_opt (fun (h : Pf.hot_path) -> h.Pf.hp_path = p) paths with
+  | Some h -> h
+  | None -> Alcotest.failf "path %s missing" (Pf.path_to_string p)
+
+let test_attribution_invariants () =
+  let t = nested_trace () in
+  let paths = Pf.attribute t in
+  Alcotest.(check int) "five distinct paths" 5 (List.length paths);
+  (* Self within total, everywhere. *)
+  List.iter
+    (fun (h : Pf.hot_path) ->
+      Alcotest.(check bool)
+        (Pf.path_to_string h.Pf.hp_path ^ ": 0 <= self <= total")
+        true
+        (h.Pf.hp_self_us >= 0. && h.Pf.hp_self_us <= h.Pf.hp_total_us +. 1e-9);
+      Alcotest.(check bool)
+        (Pf.path_to_string h.Pf.hp_path ^ ": self alloc within alloc")
+        true
+        (h.Pf.hp_self_alloc_words >= 0.
+        && h.Pf.hp_self_alloc_words <= h.Pf.hp_alloc_words +. 1e-9))
+    paths;
+  (* Direct children are contained in their parent. *)
+  let total p = (find_path paths p).Pf.hp_total_us in
+  Alcotest.(check bool) "children of root contained" true
+    (total [ "root"; "solve" ] +. total [ "root"; "classify" ]
+    <= total [ "root" ] +. 1e-9);
+  Alcotest.(check bool) "children of solve contained" true
+    (total [ "root"; "solve"; "cg" ] <= total [ "root"; "solve" ] +. 1e-9);
+  (* Self-times telescope: their sum is exactly the root wall time
+     (same float additions, so the tolerance is pure rounding). *)
+  let self_sum =
+    List.fold_left (fun acc (h : Pf.hot_path) -> acc +. h.Pf.hp_self_us) 0. paths
+  in
+  let wall = Pf.span_wall_us t in
+  Alcotest.(check bool) "wall time positive" true (wall > 0.);
+  check_close ~rtol:1e-9 "sum of self == wall of roots" wall self_sum;
+  (* The cg path aggregated both spans. *)
+  Alcotest.(check int) "cg count" 2 (find_path paths [ "root"; "solve"; "cg" ]).Pf.hp_count;
+  (* Sorted by descending self-time. *)
+  let selfs = List.map (fun (h : Pf.hot_path) -> h.Pf.hp_self_us) paths in
+  Alcotest.(check bool) "sorted by self desc" true
+    (List.sort (fun a b -> Float.compare b a) selfs = selfs)
+
+let test_attribution_sample_counts () =
+  let t = nested_trace () in
+  let p =
+    Pf.profile_of_stacks
+      [
+        (0, [ "root"; "solve"; "cg" ]); (0, [ "root"; "solve"; "cg" ]);
+        (0, [ "root" ]); (3, [ "root"; "solve"; "cg" ]);
+        (0, [ "never"; "traced" ]);
+      ]
+  in
+  let paths = Pf.attribute ~profile:p t in
+  Alcotest.(check int) "samples merged across lanes" 3
+    (find_path paths [ "root"; "solve"; "cg" ]).Pf.hp_samples;
+  Alcotest.(check int) "root samples" 1 (find_path paths [ "root" ]).Pf.hp_samples;
+  Alcotest.(check int) "unsampled path" 0
+    (find_path paths [ "root"; "classify" ]).Pf.hp_samples
+
+(* ---------------------------------------------------------------- *)
+(* Speedscope export: parse back and validate the structure          *)
+
+let get = function Some v -> v | None -> Alcotest.fail "missing JSON member"
+
+let validate_speedscope json_text =
+  let doc = Jin.parse_exn json_text in
+  Alcotest.(check (option string))
+    "$schema" (Some "https://www.speedscope.app/file-format-schema.json")
+    (Option.bind (Jin.member "$schema" doc) Jin.string_value);
+  let frames =
+    get
+      (Option.bind (Jin.member "shared" doc) (fun s ->
+           Option.bind (Jin.member "frames" s) Jin.list_value))
+  in
+  List.iter
+    (fun f ->
+      match Option.bind (Jin.member "name" f) Jin.string_value with
+      | Some _ -> ()
+      | None -> Alcotest.fail "frame without a name")
+    frames;
+  let n_frames = List.length frames in
+  let profiles = get (Option.bind (Jin.member "profiles" doc) Jin.list_value) in
+  Alcotest.(check bool) "at least one profile" true (profiles <> []);
+  List.iter
+    (fun p ->
+      Alcotest.(check (option string))
+        "sampled type" (Some "sampled")
+        (Option.bind (Jin.member "type" p) Jin.string_value);
+      let samples = get (Option.bind (Jin.member "samples" p) Jin.list_value) in
+      let weights = get (Option.bind (Jin.member "weights" p) Jin.list_value) in
+      Alcotest.(check int) "samples and weights same length"
+        (List.length samples) (List.length weights);
+      List.iter
+        (fun stack ->
+          List.iter
+            (fun idx ->
+              let i = int_of_float (get (Jin.number idx)) in
+              Alcotest.(check bool) "frame index in range" true
+                (i >= 0 && i < n_frames))
+            (get (Jin.list_value stack)))
+        samples;
+      let weight_sum =
+        List.fold_left (fun acc w -> acc +. get (Jin.number w)) 0. weights
+      in
+      Alcotest.(check (float 0.)) "startValue is 0" 0.
+        (get (Option.bind (Jin.member "startValue" p) Jin.number));
+      Alcotest.(check (float 1e-9)) "endValue is the weight sum" weight_sum
+        (get (Option.bind (Jin.member "endValue" p) Jin.number)))
+    profiles;
+  (frames, profiles)
+
+let test_speedscope_roundtrip () =
+  let p = Pf.profile_of_stacks synthetic_stacks in
+  let json =
+    Pf.to_speedscope ~name:"unit" ~track_names:[ (0, "main"); (1, "w1") ] p
+  in
+  Alcotest.(check bool) "well-formed JSON" true (T_obs.json_accepts json);
+  let frames, profiles = validate_speedscope json in
+  Alcotest.(check int) "three distinct frames" 3 (List.length frames);
+  Alcotest.(check int) "one profile per track" 2 (List.length profiles);
+  let names =
+    List.map
+      (fun p -> get (Option.bind (Jin.member "name" p) Jin.string_value))
+      profiles
+  in
+  Alcotest.(check (list string)) "lane names" [ "main"; "w1" ] names
+
+let test_speedscope_empty_profile () =
+  let p = Pf.profile_of_stacks [] in
+  let json = Pf.to_speedscope p in
+  let _, profiles = validate_speedscope json in
+  (* An idle run still exports a loadable single empty lane. *)
+  Alcotest.(check int) "one empty profile" 1 (List.length profiles)
+
+let test_speedscope_hostile_names () =
+  let p =
+    Pf.profile_of_stacks
+      [ (0, [ "bad\xffutf"; "ctrl\x01\"quote\\" ]); (0, [ "λ→∞" ]) ]
+  in
+  let json = Pf.to_speedscope ~name:"hostile \xfe name" p in
+  Alcotest.(check bool) "hostile export is well-formed JSON" true
+    (T_obs.json_accepts json);
+  ignore (validate_speedscope json)
+
+(* ---------------------------------------------------------------- *)
+(* Stack snapshots and the live sampler                              *)
+
+let test_stack_snapshots () =
+  Alcotest.(check (list (pair int (list string))))
+    "no snapshots without tracing" [] (Tr.stack_snapshots ());
+  let t = Tr.create () in
+  Tr.with_enabled t (fun () ->
+      Tr.with_span "outer" (fun () ->
+          Tr.with_span "inner" (fun () ->
+              match Tr.stack_snapshots () with
+              | [ (track, stack) ] ->
+                Alcotest.(check int) "own track" (Tr.track ()) track;
+                Alcotest.(check (list string))
+                  "root-first stack" [ "outer"; "inner" ] stack
+              | l -> Alcotest.failf "expected 1 snapshot, got %d" (List.length l));
+          Alcotest.(check (list (pair int (list string))))
+            "inner popped"
+            [ (Tr.track (), [ "outer" ]) ]
+            (Tr.stack_snapshots ())))
+
+let test_sampler_guards () =
+  check_raises_invalid "zero rate" (fun () -> Pf.start ~rate_hz:0. ());
+  check_raises_invalid "negative rate" (fun () -> Pf.start ~rate_hz:(-1.) ());
+  check_raises_invalid "nan rate" (fun () -> Pf.start ~rate_hz:Float.nan ());
+  let s = Pf.start ~rate_hz:2000. () in
+  Alcotest.(check bool) "running" true (Pf.is_running ());
+  Alcotest.(check (float 0.)) "rate" 2000. (Pf.rate s);
+  check_raises_invalid "double start" (fun () -> Pf.start ());
+  let p = Pf.stop s in
+  Alcotest.(check bool) "stopped" false (Pf.is_running ());
+  Alcotest.(check bool) "ticked at least once" true (p.Pf.ticks >= 1);
+  Alcotest.(check int) "nothing traced, nothing sampled" 0 p.Pf.total_samples
+
+let test_sampler_live () =
+  let t = Tr.create () in
+  let p =
+    Tr.with_enabled t (fun () ->
+        let s = Pf.start ~rate_hz:1000. () in
+        (* Keep a recognizable stack open long enough to be observed on
+           a loaded machine: 1000 Hz over ~80ms of work. *)
+        Tr.with_span "t_profile.busy" (fun () ->
+            let stop_at = Unix.gettimeofday () +. 0.08 in
+            while Unix.gettimeofday () < stop_at do
+              spin ()
+            done);
+        Pf.stop s)
+  in
+  Alcotest.(check bool) "ticker ticked" true (p.Pf.ticks >= 1);
+  Alcotest.(check bool) "sampling window measured" true (p.Pf.duration_us > 0.);
+  (* Every observed stack must be the one we held open. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string))
+        "observed the open span" [ "t_profile.busy" ] s.Pf.smp_stack)
+    p.Pf.samples;
+  (* The telemetry JSON carries the profile summary and hot paths. *)
+  let json =
+    Tr.with_enabled t (fun () ->
+        Jout.to_string (Jout.of_telemetry ~top:5 ~profile:p ()))
+  in
+  Alcotest.(check bool) "telemetry JSON well-formed" true
+    (T_obs.json_accepts json);
+  let doc = Jin.parse_exn json in
+  let telemetry_profile = get (Jin.member "profile" doc) in
+  Alcotest.(check (option (float 0.)))
+    "profile rate surfaced" (Some 1000.)
+    (Option.bind (Jin.member "rate_hz" telemetry_profile) Jin.number);
+  let hot = get (Option.bind (Jin.member "hot_paths" doc) Jin.list_value) in
+  Alcotest.(check bool) "hot paths bounded by top" true (List.length hot <= 5)
+
+(* ---------------------------------------------------------------- *)
+(* Span-buffer cap                                                   *)
+
+let test_trace_capacity_cap () =
+  check_raises_invalid "capacity must be positive" (fun () ->
+      ignore (Tr.create ~capacity:0 ()));
+  Alcotest.(check int) "default capacity is generous" 1_000_000
+    (Tr.capacity (Tr.create ()));
+  let t = Tr.create ~capacity:3 () in
+  let log_buf = Buffer.create 256 in
+  let sink = Lg.create ~min_level:Lg.Warn ~text:(Lg.Buffer log_buf) () in
+  let before =
+    Mx.with_enabled true (fun () ->
+        match
+          List.find_opt
+            (fun (s : Mx.sample) -> s.Mx.s_name = "obs_trace_dropped_spans_total")
+            (Mx.snapshot ())
+        with
+        | Some s -> s.Mx.s_value
+        | None -> 0.)
+  in
+  Mx.with_enabled true (fun () ->
+      Lg.with_enabled sink (fun () ->
+          Tr.with_enabled t (fun () ->
+              for i = 1 to 8 do
+                Tr.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+              done)));
+  Alcotest.(check int) "buffer holds exactly capacity" 3 (Tr.num_events t);
+  Alcotest.(check int) "drops counted" 5 (Tr.dropped_spans t);
+  (* Earliest completions survive; later ones drop. *)
+  Alcotest.(check (list string))
+    "first-in kept"
+    [ "s1"; "s2"; "s3" ]
+    (List.map (fun (e : Tr.event) -> e.Tr.name) (Tr.events t));
+  let after =
+    Mx.with_enabled true (fun () ->
+        match
+          List.find_opt
+            (fun (s : Mx.sample) -> s.Mx.s_name = "obs_trace_dropped_spans_total")
+            (Mx.snapshot ())
+        with
+        | Some s -> s.Mx.s_value
+        | None -> 0.)
+  in
+  Alcotest.(check (float 0.)) "drop metric incremented" 5. (after -. before);
+  (* One warning, not five. *)
+  let warnings =
+    String.split_on_char '\n' (Buffer.contents log_buf)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "warn-once on first drop" 1 (List.length warnings);
+  Alcotest.(check bool) "warning names the condition" true
+    (T_obs.contains (List.hd warnings) "trace span buffer full")
+
+let test_trace_cap_keeps_sampling () =
+  (* A full buffer stops recording but not stack publication: the
+     profiler keeps seeing live stacks. *)
+  let t = Tr.create ~capacity:1 () in
+  Tr.with_enabled t (fun () ->
+      Tr.with_span "a" (fun () -> ());
+      Tr.with_span "b" (fun () ->
+          match Tr.stack_snapshots () with
+          | [ (_, stack) ] ->
+            Alcotest.(check (list string)) "stack still published" [ "b" ] stack
+          | l -> Alcotest.failf "expected 1 snapshot, got %d" (List.length l)));
+  Alcotest.(check int) "one span kept" 1 (Tr.num_events t);
+  Alcotest.(check int) "one span dropped" 1 (Tr.dropped_spans t)
+
+let suites =
+  [
+    ( "profile.folded",
+      [
+        case "aggregation over synthetic stacks" test_profile_of_stacks;
+        case "folded output and lane naming" test_folded_output;
+        test_folded_permutation_invariant;
+      ] );
+    ( "profile.attribute",
+      [
+        case "self/total invariants and telescoping" test_attribution_invariants;
+        case "sample counts join on exact path" test_attribution_sample_counts;
+      ] );
+    ( "profile.speedscope",
+      [
+        case "export parses and validates" test_speedscope_roundtrip;
+        case "empty profile still loads" test_speedscope_empty_profile;
+        case "hostile frame names sanitize" test_speedscope_hostile_names;
+      ] );
+    ( "profile.sampler",
+      [
+        case "published stacks snapshot" test_stack_snapshots;
+        case "start/stop guards" test_sampler_guards;
+        case "live sampling smoke" test_sampler_live;
+      ] );
+    ( "profile.cap",
+      [
+        case "span buffer cap: count, metric, warn-once" test_trace_capacity_cap;
+        case "cap leaves stack publication alive" test_trace_cap_keeps_sampling;
+      ] );
+  ]
