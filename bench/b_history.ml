@@ -93,27 +93,28 @@ let history_path o =
 let result_path o bench = Filename.concat o.out_dir ("BENCH_" ^ bench ^ ".json")
 
 (* With no explicit bench names, pick up every result present. *)
-let discover_benches o usage =
+let discover_opt o =
   match o.benches with
   | _ :: _ -> o.benches
   | [] ->
     let all = try Sys.readdir o.out_dir with Sys_error _ -> [||] in
-    let names =
-      Array.to_list all
-      |> List.filter_map (fun f ->
-             if
-               String.length f > 11
-               && String.sub f 0 6 = "BENCH_"
-               && Filename.check_suffix f ".json"
-             then Some (String.sub f 6 (String.length f - 11))
-             else None)
-      |> List.sort compare
-    in
-    if names = [] then
-      die usage
-        (Printf.sprintf "no BENCH_*.json results under %s — run the benches \
-                         first" o.out_dir);
-    names
+    Array.to_list all
+    |> List.filter_map (fun f ->
+           if
+             String.length f > 11
+             && String.sub f 0 6 = "BENCH_"
+             && Filename.check_suffix f ".json"
+           then Some (String.sub f 6 (String.length f - 11))
+           else None)
+    |> List.sort compare
+
+let discover_benches o usage =
+  match discover_opt o with
+  | [] ->
+    die usage
+      (Printf.sprintf "no BENCH_*.json results under %s — run the benches \
+                       first" o.out_dir)
+  | names -> names
 
 let load_entry o usage bench =
   let path = result_path o bench in
@@ -184,48 +185,70 @@ let print_verdict (v : H.verdict) =
   Rp.print table;
   print_newline ()
 
+let write_json_verdict path ~no_history verdicts =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      J.to_channel oc
+        (J.Obj
+           [
+             ("regressed", J.Bool (H.regressed verdicts));
+             ("no_history", J.Bool no_history);
+             ("verdicts", J.List (List.map H.verdict_to_json verdicts));
+           ]);
+      output_char oc '\n');
+  Printf.printf "verdict written to %s\n" path
+
 let compare args =
   let o = parse_opts usage_compare args in
-  let benches = discover_benches o usage_compare in
   let hist = history_path o in
   let history =
     match H.load hist with
     | Ok h -> h
     | Error msg -> die usage_compare msg
   in
-  let verdicts =
-    List.map
-      (fun bench ->
-        let e = load_entry o usage_compare bench in
-        H.compare_entry ~window:o.window ~history e)
-      benches
-  in
-  List.iter print_verdict verdicts;
-  (match o.json_verdict with
-  | None -> ()
-  | Some path ->
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        J.to_channel oc
-          (J.Obj
-             [
-               ( "regressed",
-                 J.Bool (H.regressed verdicts) );
-               ("verdicts", J.List (List.map H.verdict_to_json verdicts));
-             ]);
-        output_char oc '\n');
-    Printf.printf "verdict written to %s\n" path);
-  if H.regressed verdicts then begin
-    Printf.printf "REGRESSION: at least one metric worsened past its \
-                   threshold\n";
-    1
-  end
-  else begin
-    (if List.for_all (fun (v : H.verdict) -> v.H.v_baseline_runs = 0) verdicts
-     then
-       Printf.printf
-         "no baseline in %s yet — record some runs first; nothing gated\n" hist);
+  match discover_opt o with
+  | [] when history = [] ->
+    (* First run on a fresh checkout: nothing measured, nothing
+       recorded. That is a clean "no history yet" verdict, not a
+       failure — the CI gate must pass until a baseline exists. *)
+    Printf.printf
+      "no history yet: %s is empty or missing and no BENCH_*.json under %s — \
+       run the benches and record a baseline; nothing gated\n"
+      hist o.out_dir;
+    Option.iter
+      (fun path -> write_json_verdict path ~no_history:true [])
+      o.json_verdict;
     0
-  end
+  | [] ->
+    die usage_compare
+      (Printf.sprintf "no BENCH_*.json results under %s — run the benches \
+                       first" o.out_dir)
+  | benches ->
+    let no_history = history = [] in
+    let verdicts =
+      List.map
+        (fun bench ->
+          let e = load_entry o usage_compare bench in
+          H.compare_entry ~window:o.window ~history e)
+        benches
+    in
+    List.iter print_verdict verdicts;
+    Option.iter
+      (fun path -> write_json_verdict path ~no_history verdicts)
+      o.json_verdict;
+    if H.regressed verdicts then begin
+      Printf.printf "REGRESSION: at least one metric worsened past its \
+                     threshold\n";
+      1
+    end
+    else begin
+      (if
+         List.for_all (fun (v : H.verdict) -> v.H.v_baseline_runs = 0) verdicts
+       then
+         Printf.printf
+           "no baseline in %s yet — record some runs first; nothing gated\n"
+           hist);
+      0
+    end

@@ -312,7 +312,7 @@ let exit_code_of_diags ~strict diags =
 
 let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     json_path html_path keep_going strict max_errors trace_path metrics_path
-    profile_path profile_rate profile_format =
+    profile_path profile_rate profile_format engine jobs =
   let material = material_of ~sigma_t ~temperature in
   let trace, sampler =
     start_telemetry ~trace_path ~metrics_path ~profile_path ~profile_rate
@@ -339,8 +339,28 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
   let sol = Spice.Mna.solve netlist in
   Format.printf "DC solve: %d CG iterations, residual %.2e@."
     sol.Spice.Mna.cg_iterations sol.Spice.Mna.residual;
-  let structures = Emflow.Extract.extract ~tech sol in
-  let r = Flow.run_on_structures ~material ~with_maxpath structures in
+  (* The fused engine streams resistors straight into columnar
+     structures and analyzes those; the boxed path materializes
+     [Structure.t] intermediates first and is kept as the reference.
+     Both yield the same structure list order, so diagnostics index
+     identically. *)
+  let extracted, r =
+    match engine with
+    | `Boxed ->
+      let structures = Emflow.Extract.extract ~tech sol in
+      let r = Flow.run_on_structures ~material ~with_maxpath ?jobs structures in
+      (`Boxed structures, r)
+    | `Fused ->
+      let p = Emflow.Pipeline.create () in
+      let compacts =
+        Emflow.Pipeline.run p "extract" (fun () ->
+            Emflow.Extract.extract_compact ~tech sol)
+      in
+      let r =
+        Flow.run_on_compact ~material ~with_maxpath ?jobs ~pipeline:p compacts
+      in
+      (`Fused compacts, r)
+  in
   Format.printf "%a@.@." Flow.pp_summary r;
   (* Ancillary reports run on the healthy subset: a structure the flow
      skipped (degenerate geometry, solver failure) would throw again in
@@ -353,8 +373,11 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
         | _ -> None)
       r.Flow.diags
   in
+  let healthy l = List.filteri (fun i _ -> not (List.mem i failed_indices)) l in
   let structures =
-    List.filteri (fun i _ -> not (List.mem i failed_indices)) structures
+    match extracted with
+    | `Boxed structures -> healthy structures
+    | `Fused compacts -> List.map Emflow.Extract.boxed_view (healthy compacts)
   in
   Printf.printf "Per-layer breakdown:\n";
   Emflow.Report.print
@@ -519,13 +542,34 @@ let analyze_cmd =
             "With $(b,--keep-going): give up (fatal error) after more than \
              $(docv) malformed netlist lines.")
   in
+  let engine =
+    let engine_conv = Arg.enum [ ("fused", `Fused); ("boxed", `Boxed) ] in
+    Arg.(
+      value & opt engine_conv `Fused
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Extraction/analysis engine: $(b,fused) (default) streams \
+             resistors straight into columnar structures; $(b,boxed) \
+             materializes the boxed per-structure intermediates first \
+             (the reference path, bit-identical verdicts).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Parallelize the per-structure EM analysis over $(docv) domains; \
+             huge structures are additionally decomposed $(i,within) the \
+             structure. Defaults to sequential.")
+  in
   let term =
     Term.(
       ret
         (const (fun path tech sigma_t temperature with_maxpath top fix json
                     html keep_going strict max_errors trace_path metrics_path
-                    profile_path profile_rate profile_format log_level log_json
-                    flight_dump ->
+                    profile_path profile_rate profile_format engine jobs
+                    log_level log_json flight_dump ->
              let finish_log = start_logging ~log_level ~log_json in
              (* The flight recorder is always armed during analyze; its
                 ring only surfaces on failure. *)
@@ -539,6 +583,7 @@ let analyze_cmd =
                  analyze_netlist path tech sigma_t temperature with_maxpath
                    top fix json html keep_going strict max_errors trace_path
                    metrics_path profile_path profile_rate profile_format
+                   engine jobs
                with
                | `Ok n ->
                  if n <> 0 then dump_flight ~flight_dump ();
@@ -548,6 +593,7 @@ let analyze_cmd =
                | exception Spice.Mna.Unsupported msg ->
                  fail ("unsupported netlist: " ^ msg)
                | exception Failure msg -> fail msg
+               | exception Invalid_argument msg -> fail msg
              in
              Obs.Flight.set_enabled false;
              finish_log ();
@@ -555,7 +601,7 @@ let analyze_cmd =
         $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ with_maxpath $ top
         $ fix $ json_path $ html_path $ keep_going $ strict $ max_errors
         $ trace_arg $ metrics_arg $ profile_arg $ profile_rate_arg
-        $ profile_format_arg $ log_level_arg $ log_json_arg
+        $ profile_format_arg $ engine $ jobs $ log_level_arg $ log_json_arg
         $ flight_dump_arg))
   in
   Cmd.v

@@ -73,6 +73,134 @@ let make ~num_nodes ~tail ~head ~length ~width ~height ~j =
   let offsets, adj_edge, adj_nbr = build_csr ~num_nodes ~tail ~head in
   { num_nodes; tail; head; length; width; height; wh; j; offsets; adj_edge; adj_nbr }
 
+(* ------------------------------------------------------------------ *)
+(* Streaming builder                                                   *)
+
+module Builder = struct
+  type compact = t
+
+  type t = {
+    mutable n : int;            (* segments appended so far *)
+    mutable tail : int array;
+    mutable head : int array;
+    mutable length : float array;
+    mutable width : float array;
+    mutable height : float array;
+    mutable wh : float array;
+    mutable j : float array;
+    mutable deg : int array;    (* per-node incidence count, grow-on-demand *)
+    mutable max_node : int;
+  }
+
+  let create ?(expected_segments = 16) () =
+    let cap = max 1 expected_segments in
+    {
+      n = 0;
+      tail = Array.make cap 0;
+      head = Array.make cap 0;
+      length = Array.make cap 0.;
+      width = Array.make cap 0.;
+      height = Array.make cap 0.;
+      wh = Array.make cap 0.;
+      j = Array.make cap 0.;
+      deg = Array.make (max 2 (2 * cap)) 0;
+      max_node = -1;
+    }
+
+  let segment_count b = b.n
+
+  let grow_columns b =
+    let cap = Array.length b.tail in
+    let grow_i a = let f = Array.make (2 * cap) 0 in Array.blit a 0 f 0 cap; f in
+    let grow_f a = let f = Array.make (2 * cap) 0. in Array.blit a 0 f 0 cap; f in
+    b.tail <- grow_i b.tail;
+    b.head <- grow_i b.head;
+    b.length <- grow_f b.length;
+    b.width <- grow_f b.width;
+    b.height <- grow_f b.height;
+    b.wh <- grow_f b.wh;
+    b.j <- grow_f b.j
+
+  let bump_degree b v =
+    let cap = Array.length b.deg in
+    if v >= cap then begin
+      let fresh = Array.make (max (2 * cap) (v + 1)) 0 in
+      Array.blit b.deg 0 fresh 0 cap;
+      b.deg <- fresh
+    end;
+    b.deg.(v) <- b.deg.(v) + 1
+
+  (* Validation happens as segments arrive (same checks and messages as
+     [make]); [finish] then only has to range-check the endpoints
+     against the final node count and assemble the CSR. *)
+  let add_segment b ~tail ~head ~length ~width ~height ~j =
+    let k = b.n in
+    if tail < 0 || head < 0 then
+      invalid_arg (Printf.sprintf "Compact.make: segment %d endpoint out of range" k);
+    if tail = head then
+      invalid_arg (Printf.sprintf "Compact.make: segment %d is a self-loop" k);
+    check_geometry k ~length ~width ~height ~j;
+    if k = Array.length b.tail then grow_columns b;
+    b.tail.(k) <- tail;
+    b.head.(k) <- head;
+    b.length.(k) <- length;
+    b.width.(k) <- width;
+    b.height.(k) <- height;
+    b.wh.(k) <- width *. height;
+    b.j.(k) <- j;
+    bump_degree b tail;
+    bump_degree b head;
+    if tail > b.max_node then b.max_node <- tail;
+    if head > b.max_node then b.max_node <- head;
+    b.n <- k + 1
+
+  (* CSR assembly from the degree counts accumulated during the adds:
+     the same counting sort as [build_csr] (slots in edge-id order, tail
+     before head per edge), minus its initial counting pass. *)
+  let finish b ~num_nodes =
+    let m = b.n in
+    if m = 0 then invalid_arg "Compact.make: a structure needs at least one segment";
+    if num_nodes < 0 then invalid_arg "Compact.make: negative node count";
+    if b.max_node >= num_nodes then
+      invalid_arg
+        (Printf.sprintf "Compact.make: segment endpoint %d out of range (%d nodes)"
+           b.max_node num_nodes);
+    let shrink_i a = if Array.length a = m then a else Array.sub a 0 m in
+    let shrink_f a = if Array.length a = m then a else Array.sub a 0 m in
+    let tail = shrink_i b.tail and head = shrink_i b.head in
+    let offsets = Array.make (num_nodes + 1) 0 in
+    for v = 0 to num_nodes - 1 do
+      let d = if v < Array.length b.deg then b.deg.(v) else 0 in
+      offsets.(v + 1) <- offsets.(v) + d
+    done;
+    let adj_edge = Array.make (2 * m) 0 and adj_nbr = Array.make (2 * m) 0 in
+    let fill = Array.make num_nodes 0 in
+    for e = 0 to m - 1 do
+      let u = tail.(e) and v = head.(e) in
+      let su = offsets.(u) + fill.(u) in
+      adj_edge.(su) <- e;
+      adj_nbr.(su) <- v;
+      fill.(u) <- fill.(u) + 1;
+      let sv = offsets.(v) + fill.(v) in
+      adj_edge.(sv) <- e;
+      adj_nbr.(sv) <- u;
+      fill.(v) <- fill.(v) + 1
+    done;
+    {
+      num_nodes;
+      tail;
+      head;
+      length = shrink_f b.length;
+      width = shrink_f b.width;
+      height = shrink_f b.height;
+      wh = shrink_f b.wh;
+      j = shrink_f b.j;
+      offsets;
+      adj_edge;
+      adj_nbr;
+    }
+end
+
 let of_structure s =
   let g = Structure.graph s in
   let m = Structure.num_segments s in
@@ -135,6 +263,59 @@ let total_length c =
     acc := !acc +. c.length.(k)
   done;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Cache-aware node reordering                                         *)
+
+type reordered = {
+  compact : t;
+  old_of_new : int array;
+  new_of_old : int array;
+}
+
+let permute c ~order =
+  let n = c.num_nodes in
+  if Array.length order <> n || not (Reorder.is_permutation order) then
+    invalid_arg "Compact.permute: order is not a permutation of the nodes";
+  let new_of_old = Reorder.inverse order in
+  let m = num_segments c in
+  let tail = Array.make m 0 and head = Array.make m 0 in
+  for k = 0 to m - 1 do
+    tail.(k) <- new_of_old.(c.tail.(k));
+    head.(k) <- new_of_old.(c.head.(k))
+  done;
+  let offsets, adj_edge, adj_nbr = build_csr ~num_nodes:n ~tail ~head in
+  (* Segment order is untouched, so the geometry columns are shared with
+     the original; only the node-indexed views are rebuilt. *)
+  let compact =
+    {
+      num_nodes = n;
+      tail;
+      head;
+      length = c.length;
+      width = c.width;
+      height = c.height;
+      wh = c.wh;
+      j = c.j;
+      offsets;
+      adj_edge;
+      adj_nbr;
+    }
+  in
+  { compact; old_of_new = order; new_of_old }
+
+let reorder ?(strategy = `Bfs) ?root c =
+  let root = match root with Some r -> r | None -> default_reference c in
+  let order =
+    match strategy with
+    | `Bfs ->
+      Reorder.bfs_order ~num_nodes:c.num_nodes ~offsets:c.offsets
+        ~neighbors:c.adj_nbr ~root
+    | `Rcm ->
+      Reorder.rcm_order ~num_nodes:c.num_nodes ~offsets:c.offsets
+        ~neighbors:c.adj_nbr ~root
+  in
+  permute c ~order
 
 let is_connected c =
   let n = c.num_nodes in

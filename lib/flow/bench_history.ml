@@ -35,28 +35,38 @@ let generic_metrics doc =
   | _ -> []
 
 (* Per-size series from the scaling bench: each row keyed by its edge
-   count, so the history compares like against like. *)
+   count, so the history compares like against like. Top-level summary
+   measurements (e.g. the columnar throughput cliff ratio) ride along
+   through the generic extractor. *)
 let scaling_metrics doc =
-  match Json_in.member "rows" doc with
-  | Some (J.List rows) ->
-    List.concat_map
-      (fun row ->
-        match Json_in.member "edges" row with
-        | Some edges_j -> begin
-          match Json_in.number edges_j with
-          | Some edges ->
-            let tag = Printf.sprintf "@%.0f" edges in
-            List.filter_map
-              (fun key ->
-                match Option.bind (Json_in.member key row) Json_in.number with
-                | Some f -> Some (key ^ tag, f)
-                | None -> None)
-              [ "boxed_s"; "columnar_s"; "columnar_segments_per_s"; "speedup" ]
-          | None -> []
-        end
-        | None -> [])
-      rows
-  | _ -> []
+  let per_row =
+    match Json_in.member "rows" doc with
+    | Some (J.List rows) ->
+      List.concat_map
+        (fun row ->
+          match Json_in.member "edges" row with
+          | Some edges_j -> begin
+            match Json_in.number edges_j with
+            | Some edges ->
+              let tag = Printf.sprintf "@%.0f" edges in
+              List.filter_map
+                (fun key ->
+                  match Option.bind (Json_in.member key row) Json_in.number with
+                  | Some f -> Some (key ^ tag, f)
+                  | None -> None)
+                [
+                  "boxed_s"; "convert_s"; "columnar_s";
+                  "columnar_segments_per_s"; "reordered_solve_s";
+                  "reordered_segments_per_s"; "par_solve_s";
+                  "par_segments_per_s"; "speedup";
+                ]
+            | None -> []
+          end
+          | None -> [])
+        rows
+    | _ -> []
+  in
+  generic_metrics doc @ per_row
 
 let obs_metrics doc =
   List.filter_map

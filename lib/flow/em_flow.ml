@@ -65,15 +65,37 @@ let gc_minor = gc_gauge "minor"
 let gc_major = gc_gauge "major"
 let gc_promoted = gc_gauge "promoted"
 
+(* Work-decomposition thresholds. [reorder_nodes]: below it a structure
+   fits the cache and the BFS-permutation setup (CSR rebuild + result
+   gather) costs more than it saves. [huge_segments]: at or above it a
+   structure is analyzed alone with intra-structure parallelism (all
+   domains expanding its subtrees) instead of riding the across-structure
+   pool where it would serialize the batch behind one worker. *)
+type tuning = { huge_segments : int; reorder_nodes : int }
+
+let default_tuning = { huge_segments = 100_000; reorder_nodes = 16_384 }
+
 (* Per-structure analysis on the columnar representation: one
    [solve_compact] through the worker's workspace, then the Blech filter
    and the exact endpoint test read the flat columns directly. The
    arithmetic matches [Immortality.check] + [Blech.filter] on the boxed
    path expression for expression, so the confusion counts are
-   bit-identical. *)
-let analyze_one material with_maxpath ws (cs : Extract.compact_structure) =
+   bit-identical.
+
+   Large structures route through the cache-aware reordered solve (and,
+   with [par_jobs > 1], the intra-structure parallel one); both are
+   bit-identical to the plain [solve_compact] and return results in
+   original node ids, so the verdicts cannot depend on which path ran. *)
+let analyze_one material with_maxpath ~tuning ~par_jobs ws
+    (cs : Extract.compact_structure) =
   let c = cs.Extract.compact in
-  let sol = Ss.solve_compact ~ws material c in
+  let sol =
+    if par_jobs > 1 then
+      Ss.solve_compact_reordered ~ws ~jobs:par_jobs material c
+    else if Cc.num_nodes c >= tuning.reorder_nodes then
+      Ss.solve_compact_reordered ~ws material c
+    else Ss.solve_compact ~ws material c
+  in
   let threshold = M.effective_critical_stress material in
   let jl_crit = M.jl_crit material in
   let stress = sol.Ss.node_stress in
@@ -113,11 +135,11 @@ let analyze_one material with_maxpath ws (cs : Extract.compact_structure) =
    its "parallel.chunk" span) and one observation in the latency
    histogram. The trace branch is guarded explicitly so the attrs list
    is never allocated when tracing is off. *)
-let analyze_traced material with_maxpath ws index
+let analyze_traced material with_maxpath ~tuning ~par_jobs ws index
     (cs : Extract.compact_structure) =
   let run () =
     Obs.Metrics.time structure_solve_seconds (fun () ->
-        analyze_one material with_maxpath ws cs)
+        analyze_one material with_maxpath ~tuning ~par_jobs ws cs)
   in
   let records =
     if Obs.Trace.enabled () then
@@ -167,18 +189,57 @@ let diag_of_failure i (cs : Extract.compact_structure) e =
    into [p]. [analysis_time] keeps the historical convention: wall time
    when explicitly parallel (CPU time would double-count the workers),
    CPU time otherwise. *)
-let finish_run p ~material ~with_maxpath ?jobs compacts =
+let finish_run p ~material ~with_maxpath ~tuning ?jobs compacts =
   let t0 = Sys.time () in
   let wall0 = Unix.gettimeofday () in
   let compacts_arr = Array.of_list compacts in
+  let nstruct = Array.length compacts_arr in
+  let jobs_resolved = match jobs with Some j -> max 1 j | None -> 1 in
+  let is_huge i =
+    jobs_resolved > 1
+    && Cc.num_segments compacts_arr.(i).Extract.compact >= tuning.huge_segments
+  in
   let slots =
     (* Map over indices rather than the structures themselves so each
-       worker can attach the structure's position to its span. *)
+       worker can attach the structure's position to its span. Work is
+       decomposed per connected component (each structure is one): huge
+       components are analyzed one at a time with all domains working
+       inside the structure (per-subtree expansion, chunked stress
+       fill), the rest fan out across the domains. Per-slot capture
+       keeps fault isolation identical on both routes. *)
     Pipeline.run p "analyze" (fun () ->
-        Numerics.Parallel.map_local_result ?jobs
-          ~local:(fun () -> Ss.Workspace.create ())
-          (fun ws i -> analyze_traced material with_maxpath ws i compacts_arr.(i))
-          (Array.init (Array.length compacts_arr) Fun.id))
+        let out =
+          Array.make nstruct
+            (Error (Failure "Em_flow: slot not written", Printexc.get_callstack 0))
+        in
+        let idxs = Array.init nstruct Fun.id in
+        let huge = Array.of_seq (Seq.filter is_huge (Array.to_seq idxs)) in
+        let small =
+          Array.of_seq
+            (Seq.filter (fun i -> not (is_huge i)) (Array.to_seq idxs))
+        in
+        let ws_huge = lazy (Ss.Workspace.create ()) in
+        Array.iter
+          (fun i ->
+            out.(i) <-
+              (match
+                 analyze_traced material with_maxpath ~tuning
+                   ~par_jobs:jobs_resolved (Lazy.force ws_huge) i
+                   compacts_arr.(i)
+               with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ())))
+          huge;
+        let small_slots =
+          Numerics.Parallel.map_local_result ?jobs
+            ~local:(fun () -> Ss.Workspace.create ())
+            (fun ws i ->
+              analyze_traced material with_maxpath ~tuning ~par_jobs:1 ws i
+                compacts_arr.(i))
+            small
+        in
+        Array.iteri (fun k i -> out.(i) <- small_slots.(k)) small;
+        out)
   in
   let diags = ref [] in
   let per_structure =
@@ -272,14 +333,14 @@ let make_result p ~counts ~maxpath_counts ~segments ~num_structures
   r
 
 let run_on_compact ?(material = M.cu_dac21) ?(with_maxpath = false) ?jobs
-    ?(pipeline = Pipeline.create ()) compacts =
+    ?(tuning = default_tuning) ?(pipeline = Pipeline.create ()) compacts =
   let counts, maxpath_counts, segments, analysis_time, diags =
-    finish_run pipeline ~material ~with_maxpath ?jobs compacts
+    finish_run pipeline ~material ~with_maxpath ~tuning ?jobs compacts
   in
   make_result pipeline ~counts ~maxpath_counts ~segments
     ~num_structures:(List.length compacts) ~analysis_time ~diags
 
-let run_on_structures ?material ?with_maxpath ?jobs structures =
+let run_on_structures ?material ?with_maxpath ?jobs ?tuning structures =
   let p = Pipeline.create () in
   (* Columnarizing shares each graph's CSR arrays, so ingest is a cheap
      copy of the geometry columns; ids and adjacency order are
@@ -296,9 +357,9 @@ let run_on_structures ?material ?with_maxpath ?jobs structures =
             })
           structures)
   in
-  run_on_compact ?material ?with_maxpath ?jobs ~pipeline:p compacts
+  run_on_compact ?material ?with_maxpath ?jobs ?tuning ~pipeline:p compacts
 
-let run ?material ?with_maxpath ?jobs (grid : Pdn.Grid_gen.generated) =
+let run ?material ?with_maxpath ?jobs ?tuning (grid : Pdn.Grid_gen.generated) =
   let p = Pipeline.create () in
   let sol =
     Pipeline.run p "solve" (fun () -> Spice.Mna.solve grid.Pdn.Grid_gen.netlist)
@@ -307,7 +368,7 @@ let run ?material ?with_maxpath ?jobs (grid : Pdn.Grid_gen.generated) =
     Pipeline.run p "extract" (fun () ->
         Extract.extract_compact ~tech:grid.Pdn.Grid_gen.tech sol)
   in
-  run_on_compact ?material ?with_maxpath ?jobs ~pipeline:p compacts
+  run_on_compact ?material ?with_maxpath ?jobs ?tuning ~pipeline:p compacts
 
 let pp_summary ppf r =
   Format.fprintf ppf

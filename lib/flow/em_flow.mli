@@ -56,22 +56,45 @@ val failed_structures : result -> int
 (** Number of structures whose analysis was skipped
     ([Em_core.Diag.count_errors] of {!result.diags}). *)
 
+type tuning = {
+  huge_segments : int;
+      (** with [jobs > 1], a structure at least this many segments is
+          analyzed with {e intra}-structure parallelism (all domains
+          inside one solve) instead of riding the per-structure fan-out *)
+  reorder_nodes : int;
+      (** sequential runs route structures at least this many nodes
+          through the cache-aware BFS-reordered solve *)
+}
+
+val default_tuning : tuning
+(** [{ huge_segments = 100_000; reorder_nodes = 16_384 }]. *)
+
 val run :
   ?material:Em_core.Material.t ->
   ?with_maxpath:bool ->
   ?jobs:int ->
+  ?tuning:tuning ->
   Pdn.Grid_gen.generated ->
   result
 (** Solves the DC operating point internally. [material] defaults to
     {!Em_core.Material.cu_dac21}; [with_maxpath] to [false]; [jobs]
     parallelizes the per-structure EM analysis over that many domains
     (the DC solve stays sequential). With [jobs > 1] the reported
-    [analysis_time] is wall-clock rather than CPU time. *)
+    [analysis_time] is wall-clock rather than CPU time.
+
+    Work decomposition under [jobs > 1]: structures with at least
+    [tuning.huge_segments] segments are analyzed one at a time with the
+    domains cooperating {e inside} the solve
+    ({!Em_core.Steady_state.solve_compact_reordered} with per-subtree
+    Blech expansion and a chunked stress fill), everything else fans out
+    across domains as before; both routes keep per-structure fault
+    isolation and produce results bit-identical to a sequential run. *)
 
 val run_on_compact :
   ?material:Em_core.Material.t ->
   ?with_maxpath:bool ->
   ?jobs:int ->
+  ?tuning:tuning ->
   ?pipeline:Pipeline.t ->
   Extract.compact_structure list ->
   result
@@ -83,6 +106,7 @@ val run_on_structures :
   ?material:Em_core.Material.t ->
   ?with_maxpath:bool ->
   ?jobs:int ->
+  ?tuning:tuning ->
   Extract.em_structure list ->
   result
 (** Compatibility path for callers that already solved and extracted

@@ -376,9 +376,13 @@ let extract_compact ~tech (sol : Mna.solution) =
         let m = count.(r) in
         if m > 0 then begin
           let base = start.(r) in
-          let tail = Array.make m 0 and head = Array.make m 0 in
-          let len = Array.make m 0. and wid = Array.make m 0. in
-          let j = Array.make m 0. in
+          (* The component's segments stream straight into a
+             [Compact.Builder] pre-sized by the counting sort: geometry
+             is validated as each segment arrives and node degrees are
+             counted incrementally, so [finish] assembles the CSR in a
+             single fill pass — no boxed intermediate, and none of
+             [Compact.make]'s revalidate-then-recount passes. *)
+          let bld = Cc.Builder.create ~expected_segments:m () in
           let elems = Array.make m 0 in
           let cnodes = Array.make (m + 1) 0 in
           let nc = ref 0 in
@@ -392,17 +396,13 @@ let extract_compact ~tech (sol : Mna.solution) =
           in
           for i = 0 to m - 1 do
             let k = order.(base + i) in
-            tail.(i) <- cintern local.(buf.w_a.(k));
-            head.(i) <- cintern local.(buf.w_b.(k));
-            len.(i) <- buf.w_len.(k);
-            wid.(i) <- buf.w_width.(k);
-            j.(i) <- buf.w_j.(k);
+            let tail = cintern local.(buf.w_a.(k)) in
+            let head = cintern local.(buf.w_b.(k)) in
+            Cc.Builder.add_segment bld ~tail ~head ~length:buf.w_len.(k)
+              ~width:buf.w_width.(k) ~height:thickness ~j:buf.w_j.(k);
             elems.(i) <- buf.w_elem.(k)
           done;
-          let height = Array.make m thickness in
-          let compact =
-            Cc.make ~num_nodes:!nc ~tail ~head ~length:len ~width:wid ~height ~j
-          in
+          let compact = Cc.Builder.finish bld ~num_nodes:!nc in
           let cs_node_names =
             Array.init !nc (fun i -> net.N.node_names.(rev_local.(cnodes.(i))))
           in
@@ -425,3 +425,16 @@ let extract_compact ~tech (sol : Mna.solution) =
 
 let total_compact_segments structures =
   List.fold_left (fun acc s -> acc + Cc.num_segments s.compact) 0 structures
+
+(* Boxed view of a fused-path structure, for the ancillary consumers
+   (layer report, fix planner, PDE layer) that still read [Structure.t].
+   Node ids, names, segment order and element ids carry over unchanged,
+   so the view is interchangeable with what [extract] would have
+   produced for the same component. *)
+let boxed_view cs =
+  {
+    layer_level = cs.cs_layer_level;
+    structure = Cc.to_structure cs.compact;
+    node_names = cs.cs_node_names;
+    element_ids = cs.cs_element_ids;
+  }

@@ -45,3 +45,9 @@ val extract_compact :
     returned list may differ. *)
 
 val total_compact_segments : compact_structure list -> int
+
+val boxed_view : compact_structure -> em_structure
+(** Boxed {!em_structure} view of a fused-path structure (same node
+    ids, names, segment order and element ids), for ancillary consumers
+    that still read {!Em_core.Structure.t} — reports and repair
+    planning, not the verdict hot path. *)

@@ -772,6 +772,146 @@ let test_compact_guards () =
         (Cc.make ~num_nodes:2 ~tail:[| 0 |] ~head:[| 1 |] ~length:[| 0. |]
            ~width:[| 1e-6 |] ~height:[| 2e-7 |] ~j:[| 0. |]))
 
+(* ---------------------------------------------------------------- *)
+(* Builder, reordered solve, intra-structure parallel solve           *)
+
+let float_bits_identical a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i x ->
+           if
+             not
+               (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i)))
+           then ok := false)
+         a;
+       !ok
+     end
+
+let test_builder_matches_make () =
+  (* Streaming the same columns through the Builder must reproduce
+     [of_structure]'s compact exactly — every column and the CSR. The
+     tiny [expected_segments] forces the growth path. *)
+  let c = Cc.of_structure (make_tree (31, 11)) in
+  let b = Cc.Builder.create ~expected_segments:2 () in
+  for k = 0 to Cc.num_segments c - 1 do
+    Cc.Builder.add_segment b ~tail:c.Cc.tail.(k) ~head:c.Cc.head.(k)
+      ~length:c.Cc.length.(k) ~width:c.Cc.width.(k) ~height:c.Cc.height.(k)
+      ~j:c.Cc.j.(k)
+  done;
+  Alcotest.(check int) "segment_count" (Cc.num_segments c)
+    (Cc.Builder.segment_count b);
+  let c' = Cc.Builder.finish b ~num_nodes:(Cc.num_nodes c) in
+  Alcotest.(check int) "num_nodes" c.Cc.num_nodes c'.Cc.num_nodes;
+  Alcotest.(check (list int)) "tail" (Array.to_list c.Cc.tail)
+    (Array.to_list c'.Cc.tail);
+  Alcotest.(check (list int)) "head" (Array.to_list c.Cc.head)
+    (Array.to_list c'.Cc.head);
+  Alcotest.(check bool) "length bits" true
+    (float_bits_identical c.Cc.length c'.Cc.length);
+  Alcotest.(check bool) "wh bits" true (float_bits_identical c.Cc.wh c'.Cc.wh);
+  Alcotest.(check bool) "j bits" true (float_bits_identical c.Cc.j c'.Cc.j);
+  Alcotest.(check (list int)) "offsets" (Array.to_list c.Cc.offsets)
+    (Array.to_list c'.Cc.offsets);
+  Alcotest.(check (list int)) "adj_edge" (Array.to_list c.Cc.adj_edge)
+    (Array.to_list c'.Cc.adj_edge);
+  Alcotest.(check (list int)) "adj_nbr" (Array.to_list c.Cc.adj_nbr)
+    (Array.to_list c'.Cc.adj_nbr)
+
+let test_builder_guards () =
+  let b = Cc.Builder.create () in
+  check_raises_invalid "self loop" (fun () ->
+      Cc.Builder.add_segment b ~tail:3 ~head:3 ~length:1e-6 ~width:1e-6
+        ~height:2e-7 ~j:0.);
+  check_raises_invalid "bad geometry" (fun () ->
+      Cc.Builder.add_segment b ~tail:0 ~head:1 ~length:0. ~width:1e-6
+        ~height:2e-7 ~j:0.);
+  check_raises_invalid "negative endpoint" (fun () ->
+      Cc.Builder.add_segment b ~tail:(-1) ~head:1 ~length:1e-6 ~width:1e-6
+        ~height:2e-7 ~j:0.);
+  Cc.Builder.add_segment b ~tail:0 ~head:5 ~length:1e-6 ~width:1e-6
+    ~height:2e-7 ~j:0.;
+  check_raises_invalid "endpoint past num_nodes at finish" (fun () ->
+      ignore (Cc.Builder.finish b ~num_nodes:4));
+  check_raises_invalid "empty builder" (fun () ->
+      ignore (Cc.Builder.finish (Cc.Builder.create ()) ~num_nodes:2))
+
+let prop_reordered_bit_identical (n, seed) =
+  let c = Cc.of_structure (make_tree (n, seed)) in
+  let sol = Ss.solve_compact cu c in
+  let plain = Array.copy sol.Ss.node_stress in
+  let check strategy =
+    let r = Ss.solve_compact_reordered ~strategy cu c in
+    r.Ss.reference = sol.Ss.reference
+    && float_bits_identical plain r.Ss.node_stress
+  in
+  (* BFS replays the original discovery order on any connected graph;
+     on trees any relabeling (RCM included) forces the same tree. *)
+  check `Bfs && check `Rcm
+
+let prop_par_solve_bit_identical (n, seed) =
+  let c = Cc.of_structure (make_tree (n, seed)) in
+  let plain = Array.copy (Ss.solve_compact cu c).Ss.node_stress in
+  let par = Ss.solve_compact_par ~jobs:4 cu c in
+  float_bits_identical plain par.Ss.node_stress
+
+let prop_reordered_par_bit_identical (n, seed) =
+  let c = Cc.of_structure (make_tree (n, seed)) in
+  let plain = Array.copy (Ss.solve_compact cu c).Ss.node_stress in
+  let both = Ss.solve_compact_reordered ~jobs:4 cu c in
+  float_bits_identical plain both.Ss.node_stress
+
+let test_reordered_mesh_bit_identical () =
+  (* The BFS-permuted solve replays bit for bit on a cyclic mesh too —
+     the chord handling rides on the same discovery order. *)
+  let s = consistent_mesh () in
+  let c = Cc.of_structure s in
+  let plain = Array.copy (Ss.solve_compact cu c).Ss.node_stress in
+  let r = Ss.solve_compact_reordered cu c in
+  Alcotest.(check bool) "mesh stresses bit-identical" true
+    (float_bits_identical plain r.Ss.node_stress);
+  (* Non-tree structures fall back to the sequential solve under the
+     parallel entry point, still bit-identical. *)
+  let par = Ss.solve_compact_par ~jobs:4 cu c in
+  Alcotest.(check bool) "par fallback bit-identical" true
+    (float_bits_identical plain par.Ss.node_stress)
+
+let test_par_solve_guards () =
+  let uniform v = Array.make 2 v in
+  (* A fake tree: m = n - 1 but disconnected (2-cycle + isolated node).
+     The parallel solver must detect it instead of returning garbage. *)
+  let fake =
+    Cc.make ~num_nodes:3 ~tail:[| 0; 1 |] ~head:[| 1; 0 |]
+      ~length:(uniform (U.um 10.)) ~width:(uniform (U.um 1.))
+      ~height:(uniform 2e-7) ~j:(uniform 1e10)
+  in
+  check_raises_invalid "disconnected fake tree" (fun () ->
+      ignore (Ss.solve_compact_par ~jobs:4 cu fake));
+  let c = Cc.of_structure (make_tree (8, 3)) in
+  check_raises_invalid "jobs < 1" (fun () ->
+      ignore (Ss.solve_compact_par ~jobs:0 cu c));
+  check_raises_invalid "reference out of range" (fun () ->
+      ignore (Ss.solve_compact_reordered ~reference:99 cu c))
+
+let test_reordered_degenerate_propagates () =
+  (* Zero-width geometry makes A underflow: Degenerate must surface
+     through the reordered and parallel paths like the plain one. *)
+  let tiny = Float.min_float in
+  let degenerate =
+    Cc.make ~num_nodes:2 ~tail:[| 0 |] ~head:[| 1 |] ~length:[| tiny |]
+      ~width:[| tiny |] ~height:[| tiny |] ~j:[| 1e10 |]
+  in
+  let expect_degenerate name f =
+    match f () with
+    | exception Ss.Degenerate _ -> ()
+    | _ -> Alcotest.failf "%s: expected Degenerate" name
+  in
+  expect_degenerate "plain" (fun () -> Ss.solve_compact cu degenerate);
+  expect_degenerate "reordered" (fun () ->
+      Ss.solve_compact_reordered cu degenerate);
+  expect_degenerate "par" (fun () ->
+      Ss.solve_compact_par ~jobs:4 cu degenerate)
 
 (* ---------------------------------------------------------------- *)
 (* Sensitivity                                                       *)
@@ -1145,6 +1285,22 @@ let suites =
         qcheck "columnar solve matches boxed" tree_gen prop_compact_matches_solve;
         qcheck "columnar reference invariance" tree_gen
           prop_compact_reference_invariance;
+      ] );
+    ( "core.compact_fused",
+      [
+        case "Builder reproduces make (columns + CSR)" test_builder_matches_make;
+        case "Builder guards" test_builder_guards;
+        qcheck "reordered solve bit-identical (BFS + RCM)" tree_gen
+          prop_reordered_bit_identical;
+        qcheck "parallel solve bit-identical" tree_gen
+          prop_par_solve_bit_identical;
+        qcheck "reordered + parallel bit-identical" tree_gen
+          prop_reordered_par_bit_identical;
+        case "mesh: reordered bit-identical, par falls back"
+          test_reordered_mesh_bit_identical;
+        case "parallel/reordered guards" test_par_solve_guards;
+        case "Degenerate propagates through new paths"
+          test_reordered_degenerate_propagates;
       ] );
     ( "core.properties",
       [

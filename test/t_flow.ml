@@ -915,9 +915,9 @@ let fault_fixture =
      let healthy = Ex.extract_compact ~tech:g.Gg.tech sol in
      (healthy, Flow.run_on_compact healthy))
 
-let check_poisoned_batch ?jobs ~pos healthy (clean : Flow.result) =
+let check_poisoned_batch ?jobs ?tuning ~pos healthy (clean : Flow.result) =
   let dirty =
-    Flow.run_on_compact ?jobs (insert_at pos (poison_compact ()) healthy)
+    Flow.run_on_compact ?jobs ?tuning (insert_at pos (poison_compact ()) healthy)
   in
   (match dirty.Flow.diags with
   | [ d ] ->
@@ -960,6 +960,44 @@ let test_flow_fault_isolation_qcheck =
       let pos = raw_pos mod (List.length healthy + 1) in
       check_poisoned_batch ~jobs ~pos healthy clean;
       true)
+
+(* Force every structure down the new dispatch routes and require the
+   segment records to stay bit-identical to the plain sequential run:
+   cache-aware reordered solves on sequential runs, and the
+   intra-structure parallel decomposition ("huge" route) under jobs. *)
+let test_flow_tuning_paths_bit_identical () =
+  let healthy, clean = Lazy.force fault_fixture in
+  let reordered =
+    Flow.run_on_compact
+      ~tuning:{ Flow.huge_segments = max_int; reorder_nodes = 1 }
+      healthy
+  in
+  Alcotest.(check int) "reordered run clean" 0
+    (Flow.failed_structures reordered);
+  check_segments_bit_identical clean.Flow.segments reordered.Flow.segments;
+  let intra =
+    Flow.run_on_compact ~jobs:2
+      ~tuning:{ Flow.huge_segments = 1; reorder_nodes = 1 }
+      healthy
+  in
+  Alcotest.(check int) "intra-parallel run clean" 0
+    (Flow.failed_structures intra);
+  check_segments_bit_identical clean.Flow.segments intra.Flow.segments
+
+let test_flow_fault_isolation_new_paths () =
+  let healthy, clean = Lazy.force fault_fixture in
+  let n = List.length healthy in
+  List.iter
+    (fun pos ->
+      (* Everything through the intra-parallel "huge" route. *)
+      check_poisoned_batch ~jobs:2
+        ~tuning:{ Flow.huge_segments = 1; reorder_nodes = 1 }
+        ~pos healthy clean;
+      (* Everything through the sequential reordered route. *)
+      check_poisoned_batch
+        ~tuning:{ Flow.huge_segments = max_int; reorder_nodes = 1 }
+        ~pos healthy clean)
+    [ 0; n ]
 
 let test_flow_diags_serialized () =
   let healthy, _ = Lazy.force fault_fixture in
@@ -1010,6 +1048,10 @@ let suites =
     ( "flow.fault_isolation",
       [
         case "poisoned batch isolates the offender" test_flow_fault_isolation;
+        case "tuning routes stay bit-identical"
+          test_flow_tuning_paths_bit_identical;
+        case "fault isolation through tuning routes"
+          test_flow_fault_isolation_new_paths;
         case "diagnostics serialized" test_flow_diags_serialized;
         test_flow_fault_isolation_qcheck;
       ] );
