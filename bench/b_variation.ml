@@ -1,52 +1,120 @@
-(* Extension experiment: Monte-Carlo process variation. The binary
-   immortal/mortal classification becomes a mortality probability once
-   wire geometry and the critical stress are sampled; structures near the
-   threshold land strictly between 0 and 1, which is what a signoff team
-   budgets margin against. *)
+(* Extension experiment: vectorized Monte-Carlo process variation. The
+   binary immortal/mortal classification becomes a mortality probability
+   once wire geometry and the critical stress are sampled; the vectorized
+   engine replays one recorded BFS schedule per structure across whole
+   blocks of perturbed samples, so a pg2-class grid takes thousands of
+   samples per structure in seconds, with memory independent of the
+   sample count. *)
 
 module Gg = Pdn.Grid_gen
 module Ir = Pdn.Irdrop
 module Ex = Emflow.Extract
 module Va = Emflow.Variation
 module Rp = Emflow.Report
+module J = Emflow.Json_out
 
 let run cfg =
-  B_util.heading "Extension: Monte-Carlo process variation";
-  let spec = Gg.ibm_preset ~scale:(0.5 *. B_util.ibm_scale cfg Gg.Pg1) Gg.Pg1 in
+  B_util.heading "Extension: vectorized Monte-Carlo process variation";
+  let size = Gg.Pg2 in
+  let scale = B_util.ibm_scale cfg size in
+  let spec = Gg.ibm_preset ~scale size in
   let grid = Gg.generate spec in
-  (* Scale so the population straddles the threshold, and study the 24
-     structures closest to it (largest |margin| structures are decided
-     regardless of variation). *)
+  (* Scale so the population straddles the threshold: structures near it
+     get genuinely probabilistic verdicts instead of saturating at 0/1. *)
   let scaled, _ = Ir.scale_to_ir ~metric:Ir.Mean grid ~target:12e-3 in
   let sol = Spice.Mna.solve scaled.Gg.netlist in
-  let structures =
-    Ex.extract ~tech:scaled.Gg.tech sol
-    |> List.map (fun es ->
-           let report =
-             Em_core.Immortality.check Em_core.Material.cu_dac21
-               es.Ex.structure
-           in
-           (Float.abs (Em_core.Immortality.margin report), es))
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-    |> List.filteri (fun i _ -> i < 24)
-    |> List.map snd
-  in
-  let mc_spec = { Va.default_spec with Va.samples = 100 } in
-  let stats = Va.run mc_spec structures in
+  let compacts = Ex.extract_compact ~tech:scaled.Gg.tech sol in
+  let n_structures = List.length compacts in
+  let n_segments = Ex.total_compact_segments compacts in
+  let samples = if cfg.B_util.full then 100_000 else 10_000 in
+  let mc_spec = { Va.default_spec with Va.samples } in
+  let jobs = Numerics.Parallel.recommended_jobs () in
+  B_util.note "%s grid (scale %.2f): %d structures, %d segments"
+    (Gg.ibm_size_name size) scale n_structures n_segments;
   B_util.note
-    "%d structures x %d samples (width/thickness sigma 5%%, sigma_crit 10%%):"
-    (List.length stats) mc_spec.Va.samples;
-  Rp.print (Va.to_table stats);
+    "%d samples/structure (width/thickness sigma 5%%, sigma_crit 10%%)"
+    samples;
+
+  let r_par, t_par =
+    B_util.wall (fun () -> Va.run_compact ~jobs mc_spec compacts)
+  in
+  let r_seq, t_seq =
+    B_util.wall (fun () -> Va.run_compact ~jobs:1 mc_spec compacts)
+  in
+  (* Determinism is part of the engine's contract: the parallel and
+     sequential runs must agree bit for bit. *)
+  let identical =
+    List.for_all2
+      (fun (a : Va.structure_stats) (b : Va.structure_stats) ->
+        a.Va.mortality_probability = b.Va.mortality_probability
+        || (Float.is_nan a.Va.mortality_probability
+           && Float.is_nan b.Va.mortality_probability))
+      r_par.Va.stats r_seq.Va.stats
+    && List.length r_par.Va.stats = List.length r_seq.Va.stats
+  in
+  if not identical then
+    B_util.note "WARNING: -j %d and -j 1 runs disagree (determinism bug!)"
+      jobs;
+
+  let total_solves = n_structures * samples in
+  let segment_samples = float_of_int n_segments *. float_of_int samples in
+  B_util.note "-j %d: %.3f s  (%.0f sample-solves/s, %.2e segment-samples/s)"
+    jobs t_par
+    (float_of_int total_solves /. t_par)
+    (segment_samples /. t_par);
+  B_util.note "-j 1: %.3f s  (speedup %.2fx)" t_seq (t_seq /. t_par);
+
+  let degenerate =
+    List.fold_left (fun acc st -> acc + st.Va.samples_failed) 0 r_par.Va.stats
+  in
   let marginal =
-    List.length
-      (List.filter
-         (fun st ->
-           st.Va.mortality_probability > 0.02
-           && st.Va.mortality_probability < 0.98)
-         stats)
+    List.filter
+      (fun st ->
+        st.Va.mortality_probability > 0.02
+        && st.Va.mortality_probability < 0.98)
+      r_par.Va.stats
   in
   B_util.note
     "%d structures have genuinely probabilistic verdicts (P strictly"
-    marginal;
+    (List.length marginal);
   B_util.note
-    "between 0 and 1): margins the nominal binary classification hides."
+    "between 0 and 1): margins the nominal binary classification hides.";
+  if degenerate > 0 then
+    B_util.note "%d degenerate samples isolated as diagnostics" degenerate;
+  (* The 12 most marginal structures, by how undecided the verdict is. *)
+  let shown =
+    List.stable_sort
+      (fun (a : Va.structure_stats) b ->
+        Float.compare
+          (Float.abs (a.Va.mortality_probability -. 0.5))
+          (Float.abs (b.Va.mortality_probability -. 0.5)))
+      r_par.Va.stats
+    |> List.filteri (fun i _ -> i < 12)
+  in
+  Rp.print (Va.to_table shown);
+
+  B_util.ensure_out_dir cfg;
+  let json_path = B_util.out_path cfg "BENCH_variation.json" in
+  let oc = open_out json_path in
+  J.to_channel oc
+    (J.Obj
+       [
+         ("bench", J.String "variation");
+         ("full", J.Bool cfg.B_util.full);
+         ("grid", J.String (Gg.ibm_size_name size));
+         ("scale", J.Float scale);
+         ("structures", J.Int n_structures);
+         ("segments", J.Int n_segments);
+         ("samples", J.Int samples);
+         ("jobs", J.Int jobs);
+         ("variation_s", J.Float t_par);
+         ("seq_s", J.Float t_seq);
+         ("speedup", J.Float (t_seq /. t_par));
+         ("sample_solves_per_s", J.Float (float_of_int total_solves /. t_par));
+         ("segment_samples_per_s", J.Float (segment_samples /. t_par));
+         ("degenerate_samples", J.Int degenerate);
+         ("marginal_structures", J.Int (List.length marginal));
+         ("deterministic", J.Bool identical);
+       ]);
+  close_out oc;
+  B_util.note "wrote %s" json_path

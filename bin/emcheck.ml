@@ -312,7 +312,8 @@ let exit_code_of_diags ~strict diags =
 
 let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     json_path html_path keep_going strict max_errors trace_path metrics_path
-    profile_path profile_rate profile_format engine jobs =
+    profile_path profile_rate profile_format engine jobs variation mc_samples
+    mc_seed =
   let material = material_of ~sigma_t ~temperature in
   let trace, sampler =
     start_telemetry ~trace_path ~metrics_path ~profile_path ~profile_rate
@@ -431,7 +432,39 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     end
     else []
   in
-  let diags = parse_diags @ lint_diags @ r.Flow.diags @ blech_diags in
+  (* Monte-Carlo process variation runs on the full extracted list, not
+     the healthy subset: the engine isolates degenerate structures
+     itself, and keeping the input order makes its diagnostics index
+     the same structures as the flow's. *)
+  let variation_result =
+    if not variation then None
+    else begin
+      let spec =
+        { Emflow.Variation.default_spec with
+          Emflow.Variation.samples = mc_samples;
+          seed = Int64.of_int mc_seed;
+        }
+      in
+      let vr =
+        match extracted with
+        | `Boxed all -> Emflow.Variation.run ~material ?jobs spec all
+        | `Fused all -> Emflow.Variation.run_compact ~material ?jobs spec all
+      in
+      Printf.printf
+        "\nMonte-Carlo variation (%d samples/structure, seed %d, %.2fs):\n"
+        mc_samples mc_seed vr.Emflow.Variation.mc_time;
+      Rp.print (Emflow.Variation.to_table vr.Emflow.Variation.stats);
+      Some vr
+    end
+  in
+  let variation_diags =
+    match variation_result with
+    | Some vr -> vr.Emflow.Variation.diags
+    | None -> []
+  in
+  let diags =
+    parse_diags @ lint_diags @ r.Flow.diags @ blech_diags @ variation_diags
+  in
   (* Stop sampling before report emission: the profile feeds the hot-path
      sample counts in the JSON telemetry and the exported profile file. *)
   let profile = Option.map Obs.Profile.stop sampler in
@@ -456,6 +489,9 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
            ("layers", Emflow.Json_out.of_layer_stats layers);
            ("fix_plan", Emflow.Json_out.of_fixer_plan plan);
          ]
+        @ (match variation_result with
+          | Some vr -> [ ("variation", Emflow.Json_out.of_variation vr) ]
+          | None -> [])
         @
         (* Embed the run's telemetry when it was collected, so one JSON
            file carries both the verdicts and the run profile. *)
@@ -563,12 +599,41 @@ let analyze_cmd =
              huge structures are additionally decomposed $(i,within) the \
              structure. Defaults to sequential.")
   in
+  let variation =
+    Arg.(
+      value & flag
+      & info [ "variation" ]
+          ~doc:
+            "Monte-Carlo process variation: resample wire geometry and the \
+             critical stress per structure (vectorized over the columnar \
+             representation) and report per-structure mortality \
+             probabilities and peak-stress quantiles. Results are \
+             bit-identical for a fixed $(b,--mc-seed) at any $(b,--jobs).")
+  in
+  let mc_samples =
+    Arg.(
+      value
+      & opt int Emflow.Variation.default_spec.Emflow.Variation.samples
+      & info [ "samples" ] ~docv:"N"
+          ~doc:
+            "Monte-Carlo samples per structure for $(b,--variation); memory \
+             stays independent of $(docv) (streaming estimators).")
+  in
+  let mc_seed =
+    Arg.(
+      value
+      & opt int
+          (Int64.to_int Emflow.Variation.default_spec.Emflow.Variation.seed)
+      & info [ "mc-seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for $(b,--variation) (per-structure split streams).")
+  in
   let term =
     Term.(
       ret
         (const (fun path tech sigma_t temperature with_maxpath top fix json
                     html keep_going strict max_errors trace_path metrics_path
                     profile_path profile_rate profile_format engine jobs
+                    variation mc_samples mc_seed
                     log_level log_json flight_dump ->
              let finish_log = start_logging ~log_level ~log_json in
              (* The flight recorder is always armed during analyze; its
@@ -583,7 +648,7 @@ let analyze_cmd =
                  analyze_netlist path tech sigma_t temperature with_maxpath
                    top fix json html keep_going strict max_errors trace_path
                    metrics_path profile_path profile_rate profile_format
-                   engine jobs
+                   engine jobs variation mc_samples mc_seed
                with
                | `Ok n ->
                  if n <> 0 then dump_flight ~flight_dump ();
@@ -601,8 +666,8 @@ let analyze_cmd =
         $ path $ tech_arg $ sigma_t_arg $ temperature_arg $ with_maxpath $ top
         $ fix $ json_path $ html_path $ keep_going $ strict $ max_errors
         $ trace_arg $ metrics_arg $ profile_arg $ profile_rate_arg
-        $ profile_format_arg $ engine $ jobs $ log_level_arg $ log_json_arg
-        $ flight_dump_arg))
+        $ profile_format_arg $ engine $ jobs $ variation $ mc_samples
+        $ mc_seed $ log_level_arg $ log_json_arg $ flight_dump_arg))
   in
   Cmd.v
     (Cmd.info "analyze"

@@ -73,6 +73,21 @@ let make ~num_nodes ~tail ~head ~length ~width ~height ~j =
   let offsets, adj_edge, adj_nbr = build_csr ~num_nodes ~tail ~head in
   { num_nodes; tail; head; length; width; height; wh; j; offsets; adj_edge; adj_nbr }
 
+(* Same structure, new geometry columns: the topology (tail/head/CSR)
+   and lengths are shared, so a perturbed variant costs three column
+   validations and one multiply per segment instead of a CSR rebuild.
+   This is the scalar-oracle path of the Monte-Carlo variation engine. *)
+let with_geometry c ~width ~height ~j =
+  let m = num_segments c in
+  if Array.length width <> m || Array.length height <> m || Array.length j <> m
+  then invalid_arg "Compact.with_geometry: column length mismatch";
+  for k = 0 to m - 1 do
+    check_geometry k ~length:c.length.(k) ~width:width.(k) ~height:height.(k)
+      ~j:j.(k)
+  done;
+  let wh = Array.init m (fun k -> width.(k) *. height.(k)) in
+  { c with width; height; wh; j }
+
 (* ------------------------------------------------------------------ *)
 (* Streaming builder                                                   *)
 

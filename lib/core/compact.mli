@@ -84,6 +84,18 @@ module Builder : sig
       compact owns its columns when no growth occurred). *)
 end
 
+val with_geometry :
+  t -> width:float array -> height:float array -> j:float array -> t
+(** Same topology, new geometry: the returned compact shares
+    [tail]/[head]/[length] and the CSR with the input and carries the
+    given [width]/[height]/[j] columns ([wh] is recomputed). The new
+    columns pass the same per-segment guards as {!make} (positive
+    geometry, finite current; violations are reported with [make]'s
+    messages). This makes geometric perturbations of one structure —
+    the Monte-Carlo variation oracle — O(segments) with no adjacency
+    rebuild. The input arrays become owned columns: do not mutate them
+    afterwards. *)
+
 val of_structure : Structure.t -> t
 (** Columnarize; shares the graph's CSR arrays (no adjacency rebuild). *)
 

@@ -138,6 +138,73 @@ module Workspace = struct
     (ws.queue, ws.reached, ws.b, ws.stress)
 end
 
+module Schedule = struct
+  (* The BFS discovery order of [solve_compact] depends only on the
+     topology (CSR slot order), never on the geometry columns — so it
+     can be recorded once per structure and replayed against thousands
+     of perturbed geometry samples. Event [i] discovers [node.(i)] from
+     [parent.(i)] through segment [edge.(i)], whose current contributes
+     with [sign.(i)] (+1 when the parent is the segment's tail). The
+     replay
+
+       b.(node.(i)) <- b.(parent.(i)) +. sign.(i) *. j.(edge.(i)) *. l.(edge.(i))
+
+     evaluates, for any geometry sharing this topology, the exact
+     floating-point expressions [solve_compact] would: [sign *. j]
+     reproduces the [jhat] branch bit-for-bit ([1. *. x = x] and
+     [-1. *. x = -.x] exactly). *)
+  type t = {
+    reference : int;
+    node : int array;   (* length num_nodes - 1, in discovery order *)
+    parent : int array;
+    edge : int array;
+    sign : float array; (* +1. / -1. *)
+  }
+
+  let reference t = t.reference
+
+  let make ?reference (c : Compact.t) =
+    let n = Compact.num_nodes c in
+    let reference =
+      match reference with
+      | Some r ->
+        if r < 0 || r >= n then
+          invalid_arg "Steady_state.Schedule.make: reference out of range";
+        r
+      | None -> Compact.default_reference c
+    in
+    let tails = c.Compact.tail in
+    let offsets = c.Compact.offsets in
+    let adj_edge = c.Compact.adj_edge and adj_nbr = c.Compact.adj_nbr in
+    let queue = Array.make n 0 and reached = Array.make n false in
+    let node = Array.make (n - 1) 0 and parent = Array.make (n - 1) 0 in
+    let edge = Array.make (n - 1) 0 and sign = Array.make (n - 1) 1. in
+    reached.(reference) <- true;
+    queue.(0) <- reference;
+    let qhead = ref 0 and qtail = ref 1 in
+    while !qhead < !qtail do
+      let v = queue.(!qhead) in
+      incr qhead;
+      for slot = offsets.(v) to offsets.(v + 1) - 1 do
+        let u = adj_nbr.(slot) in
+        if not reached.(u) then begin
+          let e = adj_edge.(slot) in
+          let i = !qtail - 1 in
+          node.(i) <- u;
+          parent.(i) <- v;
+          edge.(i) <- e;
+          sign.(i) <- (if tails.(e) = v then 1. else -1.);
+          reached.(u) <- true;
+          queue.(!qtail) <- u;
+          incr qtail
+        end
+      done
+    done;
+    if !qtail <> n then
+      invalid_arg "Steady_state.Schedule.make: structure is disconnected";
+    { reference; node; parent; edge; sign }
+end
+
 (* The Section-IV one-pass algorithm on the structure-of-arrays layout:
    Blech sums accumulate during the BFS itself (no spanning-tree record,
    no parent arrays), then one sweep over the segment columns builds A

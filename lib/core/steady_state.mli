@@ -58,6 +58,33 @@ module Workspace : sig
   val create : unit -> t
 end
 
+(** A recorded BFS discovery sequence. {!solve_compact}'s traversal
+    order depends only on the topology (the CSR slot order), never on
+    the geometry columns, so the schedule can be captured once per
+    structure and replayed against many perturbed geometries — the
+    vectorized Monte-Carlo variation engine replays it across whole
+    sample blocks. Replaying event [i] as
+    [b.(node i) = b.(parent i) +. sign i *. j.(edge i) *. l.(edge i)]
+    reproduces the solver's Blech sums bit-for-bit for any geometry
+    sharing the topology (see {!Compact.with_geometry}). *)
+module Schedule : sig
+  type t = {
+    reference : int;
+    node : int array;   (** discovered node, in discovery order *)
+    parent : int array; (** the node it was discovered from *)
+    edge : int array;   (** the discovering segment *)
+    sign : float array; (** [+1.] when [parent] is the segment's tail *)
+  }
+
+  val reference : t -> int
+
+  val make : ?reference:int -> Compact.t -> t
+  (** Raises [Invalid_argument] when the structure is disconnected or
+      [reference] is out of range — the same conditions on which
+      {!solve_compact} rejects. The arrays have length
+      [num_nodes - 1]. *)
+end
+
 val solve_compact :
   ?reference:int -> ?ws:Workspace.t -> Material.t -> Compact.t -> solution
 (** {!solve} on the columnar representation: the Blech sums are

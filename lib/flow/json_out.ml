@@ -234,6 +234,36 @@ let of_flow_result (r : Em_flow.result) =
       ("stages", of_stages r.Em_flow.stages);
     ]
 
+let of_variation (r : Variation.result) =
+  Obj
+    [
+      ("samples", Int r.Variation.samples);
+      ("mc_s", Float r.Variation.mc_time);
+      ("diagnostics", of_diags r.Variation.diags);
+      ( "structures",
+        List
+          (List.map
+             (fun (st : Variation.structure_stats) ->
+               Obj
+                 [
+                   ("index", Int st.Variation.index);
+                   ("layer", Int st.Variation.layer);
+                   ("nominal_immortal", Bool st.Variation.nominal_immortal);
+                   ("samples_ok", Int st.Variation.samples_ok);
+                   ("samples_failed", Int st.Variation.samples_failed);
+                   (* Non-finite floats (all-degenerate nan probability)
+                      render as null. *)
+                   ( "mortality_probability",
+                     Float st.Variation.mortality_probability );
+                   ("mean_max_stress_pa", Float st.Variation.mean_max_stress);
+                   ("std_max_stress_pa", Float st.Variation.std_max_stress);
+                   ("q50_max_stress_pa", Float st.Variation.q50_max_stress);
+                   ("q90_max_stress_pa", Float st.Variation.q90_max_stress);
+                   ("q99_max_stress_pa", Float st.Variation.q99_max_stress);
+                 ])
+             r.Variation.stats) );
+    ]
+
 let of_layer_stats stats =
   List
     (List.map

@@ -68,6 +68,11 @@ val of_flow_result : Em_flow.result -> t
     per-segment list is summarized (it can be millions long — use
     {!Scatter.write_csv} for the raw series). *)
 
+val of_variation : Variation.result -> t
+(** Per-structure Monte-Carlo mortality probabilities and stress
+    quantiles, plus the run's diagnostics and wall time. Non-finite
+    floats (the all-degenerate [nan] probability) render as [null]. *)
+
 val of_layer_stats : Layer_report.layer_stats list -> t
 
 val of_fixer_plan : Fixer.plan -> t

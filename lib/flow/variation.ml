@@ -1,32 +1,66 @@
 module M = Em_core.Material
 module St = Em_core.Structure
 module Ss = Em_core.Steady_state
+module Cc = Em_core.Compact
+module Dg = Em_core.Diag
 module Rng = Numerics.Rng
+module Stats = Numerics.Stats
+module Parallel = Numerics.Parallel
 
 type spec = {
   width_sigma : float;
   thickness_sigma : float;
   crit_sigma : float;
   samples : int;
+  block : int;
   seed : int64;
 }
 
 let default_spec =
   { width_sigma = 0.05; thickness_sigma = 0.05; crit_sigma = 0.10;
-    samples = 200; seed = 20260707L }
+    samples = 200; block = 256; seed = 20260707L }
 
 type structure_stats = {
   index : int;
   layer : int;
   nominal_immortal : bool;
+  samples_ok : int;
+  samples_failed : int;
   mortality_probability : float;
   mean_max_stress : float;
   std_max_stress : float;
+  q50_max_stress : float;
+  q90_max_stress : float;
+  q99_max_stress : float;
 }
 
+type result = {
+  stats : structure_stats list;
+  diags : Dg.t list;
+  samples : int;
+  mc_time : float;
+}
+
+let samples_total =
+  Obs.Metrics.counter ~help:"Monte-Carlo variation samples evaluated"
+    "em_variation_samples_total"
+
+let samples_degenerate =
+  Obs.Metrics.counter
+    ~help:"Monte-Carlo variation samples rejected as degenerate"
+    "em_variation_degenerate_samples_total"
+
+let structures_total =
+  Obs.Metrics.counter ~help:"Structures run through the variation engine"
+    "em_variation_structures_total"
+
+let structure_seconds =
+  Obs.Metrics.histogram
+    ~help:"Per-structure Monte-Carlo variation latency (all samples)"
+    "em_variation_structure_seconds"
+
 let factor rng sigma =
-  if sigma <= 0. then 1.
-  else Float.max 0.2 (Rng.gaussian rng ~mean:1. ~stddev:sigma)
+  if sigma <= 0. then 1. else Rng.gaussian_positive rng ~mean:1. ~stddev:sigma
 
 let perturb_structure rng spec s =
   let g = St.graph s in
@@ -47,49 +81,316 @@ let perturb_structure rng spec s =
              current_density = seg.St.current_density /. (fw *. ft);
            } )))
 
-let run ?(material = M.cu_dac21) spec structures =
-  if spec.samples < 1 then invalid_arg "Variation.run: samples < 1";
-  let rng = Rng.create spec.seed in
-  List.mapi
-    (fun index (es : Extract.em_structure) ->
-      let s = es.Extract.structure in
-      let nominal =
-        (Em_core.Immortality.check material s)
-          .Em_core.Immortality.structure_immortal
-      in
-      let mortal = ref 0 in
-      let stresses = Array.make spec.samples 0. in
-      for sample = 0 to spec.samples - 1 do
-        let s' = perturb_structure rng spec s in
-        let threshold =
-          M.effective_critical_stress material
-          *. factor rng spec.crit_sigma
-        in
-        let max_stress, _ = Ss.max_stress (Ss.solve material s') in
-        stresses.(sample) <- max_stress;
-        if max_stress >= threshold then incr mortal
+let perturb_compact rng spec (c : Cc.t) =
+  let m = Cc.num_segments c in
+  let width = Array.make m 0. in
+  let height = Array.make m 0. in
+  let j = Array.make m 0. in
+  for k = 0 to m - 1 do
+    let fw = factor rng spec.width_sigma in
+    let ft = factor rng spec.thickness_sigma in
+    width.(k) <- c.Cc.width.(k) *. fw;
+    height.(k) <- c.Cc.height.(k) *. ft;
+    j.(k) <- c.Cc.j.(k) /. (fw *. ft)
+  done;
+  Cc.with_geometry c ~width ~height ~j
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized sampling kernel                                          *)
+
+(* Per-domain scratch: the sample-blocked geometry/Blech-sum slabs plus
+   a solver workspace for the nominal check. All grow-only, so a warm
+   domain re-solves thousands of samples with zero allocation. *)
+type scratch = {
+  ws : Ss.Workspace.t;
+  mutable whp : float array;   (* segments x block: perturbed w*h *)
+  mutable jp : float array;    (* segments x block: perturbed j *)
+  mutable b : float array;     (* nodes x block: Blech sums *)
+  mutable acc_a : float array; (* per sample: A accumulator *)
+  mutable acc_q : float array; (* per sample: Q accumulator *)
+  mutable minb : float array;  (* per sample: min_i b_i *)
+  mutable maxb : float array;  (* per sample: max_i b_i *)
+  mutable thr : float array;   (* per sample: perturbed threshold *)
+}
+
+let scratch_create () =
+  {
+    ws = Ss.Workspace.create ();
+    whp = [||]; jp = [||]; b = [||];
+    acc_a = [||]; acc_q = [||]; minb = [||]; maxb = [||]; thr = [||];
+  }
+
+let grown a len = if Array.length a >= len then a else Array.make len 0.
+
+let scratch_reserve sc ~segments ~nodes ~block =
+  sc.whp <- grown sc.whp (segments * block);
+  sc.jp <- grown sc.jp (segments * block);
+  sc.b <- grown sc.b (nodes * block);
+  sc.acc_a <- grown sc.acc_a block;
+  sc.acc_q <- grown sc.acc_q block;
+  sc.minb <- grown sc.minb block;
+  sc.maxb <- grown sc.maxb block;
+  sc.thr <- grown sc.thr block
+
+(* Cap the per-domain slab memory at ~32 MB regardless of the sample
+   count or structure size: the block shrinks for huge structures. The
+   per-sample arithmetic never reads another sample's lane, so the
+   block size affects only throughput, never a single result bit. *)
+let scratch_budget_floats = 4_000_000
+
+let block_size spec ~segments ~nodes =
+  max 1
+    (min spec.block (scratch_budget_floats / ((2 * segments) + nodes + 8)))
+
+(* All samples of one structure. One recorded BFS schedule (topology
+   only) is replayed over blocks of perturbed geometry lanes, so the
+   graph traversal cost amortizes over the whole block; per-sample
+   results stream into O(1)-memory estimators. Raises only on
+   structural problems (disconnected topology); a degenerate *sample*
+   is counted and skipped. *)
+let mc_structure material spec sc rng ~index (cs : Extract.compact_structure) =
+  let c = cs.Extract.compact in
+  let n = Cc.num_nodes c and m = Cc.num_segments c in
+  let beta = M.beta material in
+  let sigma_c = M.effective_critical_stress material in
+  let sched = Ss.Schedule.make c in
+  let nominal_immortal =
+    match Ss.solve_compact ~ws:sc.ws material c with
+    | sol -> fst (Ss.max_stress sol) < sigma_c
+    | exception Ss.Degenerate _ -> false
+  in
+  let online = Stats.Online.create () in
+  let q50 = Stats.P2.create 0.5 in
+  let q90 = Stats.P2.create 0.9 in
+  let q99 = Stats.P2.create 0.99 in
+  let mortal = ref 0 and failed = ref 0 in
+  let bmax = block_size spec ~segments:m ~nodes:n in
+  scratch_reserve sc ~segments:m ~nodes:n ~block:bmax;
+  let widths = c.Cc.width and heights = c.Cc.height in
+  let lengths = c.Cc.length and js = c.Cc.j in
+  let tails = c.Cc.tail in
+  let whp = sc.whp and jp = sc.jp and b = sc.b in
+  let acc_a = sc.acc_a and acc_q = sc.acc_q in
+  let minb = sc.minb and maxb = sc.maxb and thr = sc.thr in
+  let s_node = sched.Ss.Schedule.node in
+  let s_parent = sched.Ss.Schedule.parent in
+  let s_edge = sched.Ss.Schedule.edge in
+  let s_sign = sched.Ss.Schedule.sign in
+  let remaining = ref spec.samples in
+  while !remaining > 0 do
+    let bs = min bmax !remaining in
+    (* Draws happen sample-by-sample (lane-major), so the stream
+       consumed by sample [s] is a function of [s] alone — blocking is
+       invisible to the randomness. Per segment: width factor, then
+       thickness factor; then the sample's critical-stress factor. *)
+    for s = 0 to bs - 1 do
+      for k = 0 to m - 1 do
+        let fw = factor rng spec.width_sigma in
+        let ft = factor rng spec.thickness_sigma in
+        whp.((k * bs) + s) <- widths.(k) *. fw *. (heights.(k) *. ft);
+        jp.((k * bs) + s) <- js.(k) /. (fw *. ft)
       done;
-      {
-        index;
-        layer = es.Extract.layer_level;
-        nominal_immortal = nominal;
-        mortality_probability =
-          float_of_int !mortal /. float_of_int spec.samples;
-        mean_max_stress = Numerics.Stats.mean stresses;
-        std_max_stress = Numerics.Stats.stddev stresses;
-      })
-    structures
+      thr.(s) <- sigma_c *. factor rng spec.crit_sigma
+    done;
+    (* Step 1: replay the recorded BFS across the block. Each lane
+       evaluates exactly the floating-point expressions the scalar
+       solver would: [sign *. j] is the [jhat] branch bit-for-bit. *)
+    Array.fill b (sched.Ss.Schedule.reference * bs) bs 0.;
+    for i = 0 to Array.length s_node - 1 do
+      let u = s_node.(i) * bs in
+      let v = s_parent.(i) * bs in
+      let e = s_edge.(i) in
+      let sg = s_sign.(i) in
+      let l = lengths.(e) in
+      let er = e * bs in
+      for s = 0 to bs - 1 do
+        b.(u + s) <- b.(v + s) +. (sg *. jp.(er + s) *. l)
+      done
+    done;
+    (* Step 2: A and Q, in segment order (the scalar summation order). *)
+    Array.fill acc_a 0 bs 0.;
+    Array.fill acc_q 0 bs 0.;
+    for k = 0 to m - 1 do
+      let l = lengths.(k) in
+      let tr = tails.(k) * bs and kr = k * bs in
+      for s = 0 to bs - 1 do
+        let wh = whp.(kr + s) in
+        acc_a.(s) <- acc_a.(s) +. (wh *. l);
+        acc_q.(s) <-
+          acc_q.(s) +. (wh *. ((jp.(kr + s) *. l *. l /. 2.) +. (b.(tr + s) *. l)))
+      done
+    done;
+    (* Step 3: Blech-sum extrema per lane. Rounding is monotone, so
+       beta * (Q/A - min_i b_i) equals the maximum node stress the
+       scalar solver's full scan would return (and the max-b side gives
+       the minimum, which only gates the finiteness check). Float.min /
+       Float.max propagate NaN, so a poisoned lane cannot pass. *)
+    Array.blit b 0 minb 0 bs;
+    Array.blit b 0 maxb 0 bs;
+    for v = 1 to n - 1 do
+      let r = v * bs in
+      for s = 0 to bs - 1 do
+        let x = b.(r + s) in
+        minb.(s) <- Float.min minb.(s) x;
+        maxb.(s) <- Float.max maxb.(s) x
+      done
+    done;
+    (* Step 4: per-sample verdicts. A lane whose normalization or
+       extreme stress is not finite is the vectorized analogue of
+       [Steady_state.Degenerate]: counted, excluded from the estimators
+       and from the mortality denominator, never fatal. *)
+    for s = 0 to bs - 1 do
+      let qa = acc_q.(s) /. acc_a.(s) in
+      let mx = beta *. (qa -. minb.(s)) in
+      let mn = beta *. (qa -. maxb.(s)) in
+      if Float.is_finite mx && Float.is_finite mn then begin
+        Stats.Online.add online mx;
+        Stats.P2.add q50 mx;
+        Stats.P2.add q90 mx;
+        Stats.P2.add q99 mx;
+        if mx >= thr.(s) then incr mortal
+      end
+      else incr failed
+    done;
+    remaining := !remaining - bs
+  done;
+  Obs.Metrics.inc_by samples_total spec.samples;
+  Obs.Metrics.inc_by samples_degenerate !failed;
+  let ok = spec.samples - !failed in
+  {
+    index;
+    layer = cs.Extract.cs_layer_level;
+    nominal_immortal;
+    samples_ok = ok;
+    samples_failed = !failed;
+    mortality_probability =
+      (if ok = 0 then Float.nan else float_of_int !mortal /. float_of_int ok);
+    mean_max_stress = Stats.Online.mean online;
+    std_max_stress = Stats.Online.stddev online;
+    q50_max_stress = Stats.P2.quantile q50;
+    q90_max_stress = Stats.P2.quantile q90;
+    q99_max_stress = Stats.P2.quantile q99;
+  }
+
+let run_one material spec sc rng ~index (cs : Extract.compact_structure) =
+  Obs.Metrics.inc structures_total;
+  let work () =
+    Obs.Metrics.time structure_seconds (fun () ->
+        mc_structure material spec sc rng ~index cs)
+  in
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "variation.structure"
+      ~attrs:
+        [
+          ("structure", Obs.Trace.Int index);
+          ("layer", Obs.Trace.Int cs.Extract.cs_layer_level);
+          ("segments", Obs.Trace.Int (Cc.num_segments cs.Extract.compact));
+          ("samples", Obs.Trace.Int spec.samples);
+        ]
+      work
+  else work ()
+
+let diag_of_stats (spec : spec) (st : structure_stats) =
+  if st.samples_failed = 0 then None
+  else begin
+    let source = Dg.Structure { index = st.index; layer = st.layer } in
+    if st.samples_ok = 0 then
+      Some
+        (Dg.error ~source ~code:"degenerate-samples"
+           (Printf.sprintf
+              "all %d perturbed samples were degenerate (non-finite \
+               stress); no mortality estimate"
+              spec.samples))
+    else
+      Some
+        (Dg.warning ~source ~code:"degenerate-samples"
+           (Printf.sprintf
+              "%d of %d perturbed samples were degenerate (non-finite \
+               stress); excluded from the mortality denominator"
+              st.samples_failed spec.samples))
+  end
+
+let validate_spec name (spec : spec) =
+  if spec.samples < 1 then invalid_arg (name ^ ": samples < 1");
+  if spec.block < 1 then invalid_arg (name ^ ": block < 1")
+
+let run_compact ?(material = M.cu_dac21) ?jobs spec structures =
+  validate_spec "Variation.run_compact" spec;
+  let t0 = Unix.gettimeofday () in
+  let arr = Array.of_list structures in
+  let nstruct = Array.length arr in
+  (* One independent stream per structure, split off sequentially in
+     index order before any work is dispatched: the randomness a
+     structure sees is a pure function of (seed, index), so results are
+     bit-identical at every [jobs] and across runs. *)
+  let master = Rng.create spec.seed in
+  let rngs = Array.make nstruct master in
+  for i = 0 to nstruct - 1 do
+    rngs.(i) <- Rng.split master
+  done;
+  let slots =
+    Parallel.map_local_result ?jobs ~local:scratch_create
+      (fun sc index -> run_one material spec sc rngs.(index) ~index arr.(index))
+      (Array.init nstruct (fun i -> i))
+  in
+  (* Per-structure fault isolation: a structure whose Monte-Carlo threw
+     (disconnected topology, workspace trouble) becomes an error
+     diagnostic; every other structure's result is untouched. *)
+  let stats = ref [] and diags = ref [] in
+  for i = nstruct - 1 downto 0 do
+    match slots.(i) with
+    | Ok st ->
+      stats := st :: !stats;
+      (match diag_of_stats spec st with
+      | Some d -> diags := d :: !diags
+      | None -> ())
+    | Error (e, _) ->
+      let layer = arr.(i).Extract.cs_layer_level in
+      diags :=
+        Dg.error
+          ~source:(Dg.Structure { index = i; layer })
+          ~code:"variation-failed"
+          (Printf.sprintf "Monte-Carlo variation failed: %s"
+             (Printexc.to_string e))
+        :: !diags
+  done;
+  let mc_time = Unix.gettimeofday () -. t0 in
+  Obs.Log.info (fun () ->
+      ( "Monte-Carlo variation complete",
+        [
+          ("structures", Obs.Trace.Int nstruct);
+          ("samples_per_structure", Obs.Trace.Int spec.samples);
+          ("failed_structures", Obs.Trace.Int (Parallel.failures slots));
+          ("mc_s", Obs.Trace.Float mc_time);
+        ] ));
+  { stats = !stats; diags = !diags; samples = spec.samples; mc_time }
+
+let run ?material ?jobs spec structures =
+  run_compact ?material ?jobs spec
+    (List.map
+       (fun (es : Extract.em_structure) ->
+         {
+           Extract.cs_layer_level = es.Extract.layer_level;
+           compact = Cc.of_structure es.Extract.structure;
+           cs_node_names = es.Extract.node_names;
+           cs_element_ids = es.Extract.element_ids;
+         })
+       structures)
 
 let to_table stats =
   let sorted =
     List.sort
-      (fun a b -> compare b.mortality_probability a.mortality_probability)
+      (fun a b -> Float.compare b.mortality_probability a.mortality_probability)
       stats
   in
   let t =
     Report.create
-      [ "layer"; "nominal"; "P(mortal)"; "mean peak MPa"; "sigma MPa" ]
+      [
+        "layer"; "nominal"; "P(mortal)"; "ok"; "degen";
+        "mean MPa"; "sigma MPa"; "p50 MPa"; "p90 MPa"; "p99 MPa";
+      ]
   in
+  let mpa v = Printf.sprintf "%.1f" (v *. 1e-6) in
   List.iter
     (fun st ->
       Report.add_row t
@@ -97,8 +398,13 @@ let to_table stats =
           Printf.sprintf "M%d" st.layer;
           (if st.nominal_immortal then "immortal" else "mortal");
           Printf.sprintf "%.3f" st.mortality_probability;
-          Printf.sprintf "%.1f" (st.mean_max_stress *. 1e-6);
-          Printf.sprintf "%.1f" (st.std_max_stress *. 1e-6);
+          string_of_int st.samples_ok;
+          string_of_int st.samples_failed;
+          mpa st.mean_max_stress;
+          mpa st.std_max_stress;
+          mpa st.q50_max_stress;
+          mpa st.q90_max_stress;
+          mpa st.q99_max_stress;
         ])
     sorted;
   t

@@ -1,46 +1,136 @@
-(** Monte-Carlo process-variation analysis of EM immortality.
+(** Vectorized Monte-Carlo process-variation analysis of EM immortality.
 
     The immortality verdict depends on geometry (through [w h] weighting
     and through the current densities [j = I/(w h)] that a fixed load
     current imposes on a varied cross-section) and on the critical stress
     (grain structure makes [sigma_crit] itself statistical). This module
-    resamples both and reports per-structure mortality probabilities —
-    turning the paper's binary classification into the yield-style number
-    a signoff team actually tracks.
+    resamples both and reports per-structure mortality probabilities and
+    peak-stress quantiles — turning the paper's binary classification
+    into the yield-style number a signoff team actually tracks.
 
     Segment currents are held at their extracted values (loads do not
     care about wire geometry), so a thinned segment sees a proportionally
-    higher current density. *)
+    higher current density.
+
+    {2 Engine}
+
+    The sampler runs on the columnar representation. Per structure, the
+    BFS discovery order is recorded once ({!Em_core.Steady_state.Schedule}
+    — it depends only on the topology) and replayed over blocks of
+    perturbed geometry lanes laid out samples-within-segment, so one
+    traversal of the CSR amortizes over a whole block of samples; each
+    lane evaluates exactly the floating-point expressions the scalar
+    solver would, making every per-sample peak stress bit-identical to a
+    [perturb_compact]-then-[solve_compact] oracle. Per-sample results
+    stream into Welford / P{^2} estimators
+    ({!Numerics.Stats.Online} / {!Numerics.Stats.P2}), so memory is
+    O(structures) — independent of the sample count — and the per-domain
+    scratch slabs are capped (the block shrinks for huge structures).
+
+    {2 Determinism}
+
+    Each structure gets its own {!Numerics.Rng.split} stream, split off
+    sequentially in input order before any work is dispatched; the
+    engine parallelizes across structures only. Results are therefore
+    bit-identical for a fixed [spec] at any [jobs] value, across runs,
+    and at any [block] size (draws are consumed per sample, and no lane
+    reads another lane's data).
+
+    {2 Fault isolation}
+
+    A perturbed sample whose normalization [Q/A] or extreme stress is
+    not finite — the vectorized analogue of
+    {!Em_core.Steady_state.Degenerate} — is counted, excluded from the
+    estimators and from the mortality denominator, and reported as a
+    per-structure ["degenerate-samples"] diagnostic (warning when some
+    samples survive, error when none do). A structure whose sampling
+    throws entirely (e.g. disconnected topology) becomes a
+    ["variation-failed"] error diagnostic; other structures are
+    unaffected. *)
 
 type spec = {
   width_sigma : float;      (** relative 1-sigma of segment widths *)
   thickness_sigma : float;  (** relative 1-sigma of segment thicknesses *)
   crit_sigma : float;       (** relative 1-sigma of the critical stress *)
-  samples : int;
+  samples : int;            (** Monte-Carlo samples per structure, >= 1 *)
+  block : int;
+      (** samples evaluated per CSR traversal, >= 1. A throughput /
+          memory knob only: results are bit-identical at any value. The
+          engine additionally caps the block so per-domain scratch
+          stays within a fixed budget on huge structures. *)
   seed : int64;
 }
 
 val default_spec : spec
-(** 5% width, 5% thickness, 10% critical stress, 200 samples. *)
+(** 5% width, 5% thickness, 10% critical stress, 200 samples,
+    block 256. *)
 
 type structure_stats = {
   index : int;                   (** position in the input list *)
   layer : int;
-  nominal_immortal : bool;
-  mortality_probability : float; (** fraction of samples that were mortal *)
-  mean_max_stress : float;       (** Pa *)
-  std_max_stress : float;        (** Pa *)
+  nominal_immortal : bool;       (** verdict on the unperturbed geometry *)
+  samples_ok : int;              (** samples with a finite stress solution *)
+  samples_failed : int;          (** degenerate samples (counted, skipped) *)
+  mortality_probability : float;
+      (** mortal fraction of the [samples_ok] denominator; [nan] when
+          every sample was degenerate *)
+  mean_max_stress : float;       (** Pa, over ok samples *)
+  std_max_stress : float;        (** Pa, sample (Bessel) std over ok samples *)
+  q50_max_stress : float;        (** Pa, streaming P{^2} median *)
+  q90_max_stress : float;        (** Pa, streaming P{^2} 90th percentile *)
+  q99_max_stress : float;        (** Pa, streaming P{^2} 99th percentile *)
 }
 
+type result = {
+  stats : structure_stats list;  (** input order; failed structures absent *)
+  diags : Em_core.Diag.t list;
+      (** ["degenerate-samples"] warnings/errors and
+          ["variation-failed"] errors, ascending by structure index *)
+  samples : int;                 (** requested samples per structure *)
+  mc_time : float;               (** wall-clock seconds for the whole run *)
+}
+
+val run_compact :
+  ?material:Em_core.Material.t ->
+  ?jobs:int ->
+  spec ->
+  Extract.compact_structure list ->
+  result
+(** The vectorized engine. [jobs] (default
+    {!Numerics.Parallel.recommended_jobs}) parallelizes across
+    structures with per-domain scratch; any value produces bit-identical
+    results. Raises [Invalid_argument] only on an invalid [spec];
+    per-structure failures become diagnostics. *)
+
 val run :
-  ?material:Em_core.Material.t -> spec -> Extract.em_structure list ->
-  structure_stats list
+  ?material:Em_core.Material.t ->
+  ?jobs:int ->
+  spec ->
+  Extract.em_structure list ->
+  result
+(** {!run_compact} over columnarized boxed structures (convenience for
+    the boxed pipeline; identical results for identical inputs). *)
+
+val factor : Numerics.Rng.t -> float -> float
+(** One perturbation factor: [1.] when [sigma <= 0.], otherwise a
+    zero-truncated Gaussian with mean 1 ({!Numerics.Rng.gaussian_positive}
+    — resampled rather than clamped, so the empirical mean stays at 1
+    within the negligible truncation bias for practical sigmas). *)
 
 val perturb_structure :
   Numerics.Rng.t -> spec -> Em_core.Structure.t -> Em_core.Structure.t
-(** One geometry sample (exposed for tests): widths/thicknesses scaled by
-    truncated-Gaussian factors (floored at 0.2 to keep geometry positive),
-    current densities rescaled to preserve each segment's current. *)
+(** One boxed geometry sample (exposed for tests): widths/thicknesses
+    scaled by {!factor} draws, current densities rescaled to preserve
+    each segment's current. *)
+
+val perturb_compact :
+  Numerics.Rng.t -> spec -> Em_core.Compact.t -> Em_core.Compact.t
+(** One columnar geometry sample via {!Em_core.Compact.with_geometry}
+    (no CSR rebuild). Consumes the stream exactly as the vectorized
+    engine does for one sample lane — per segment a width then a
+    thickness factor — so [perturb_compact]-then-[solve_compact] is the
+    engine's scalar oracle (the per-sample critical-stress factor is
+    drawn after the geometry, by the caller). *)
 
 val to_table : structure_stats list -> Report.t
-(** Rows sorted by descending mortality probability. *)
+(** Rows sorted by descending mortality probability ([nan] last). *)

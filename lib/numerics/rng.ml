@@ -46,6 +46,14 @@ let gaussian t ~mean ~stddev =
   let r = sqrt (-2. *. log u1) in
   mean +. (stddev *. r *. cos (2. *. Float.pi *. u2))
 
+let gaussian_positive t ~mean ~stddev =
+  if mean <= 0. then invalid_arg "Rng.gaussian_positive: mean must be > 0";
+  let rec draw () =
+    let x = gaussian t ~mean ~stddev in
+    if x > 0. then x else draw ()
+  in
+  draw ()
+
 let exponential t ~rate =
   if rate <= 0. then invalid_arg "Rng.exponential: rate must be > 0";
   let rec nonzero () =

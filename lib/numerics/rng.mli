@@ -31,6 +31,15 @@ val uniform : t -> float -> float -> float
 val gaussian : t -> mean:float -> stddev:float -> float
 (** Box-Muller normal deviate. *)
 
+val gaussian_positive : t -> mean:float -> stddev:float -> float
+(** Zero-truncated normal deviate: draws from {!gaussian} until the
+    result is strictly positive. Unlike clamping, rejection keeps the
+    mean of the sampled distribution close to [mean] (the truncation
+    bias is [stddev * phi(mean/stddev) / Phi(mean/stddev)], negligible
+    for [stddev <~ mean / 3]). The number of draws consumed is variable,
+    so interleaved streams must not assume a fixed stride. [mean] must
+    be > 0 so termination is (probabilistically) guaranteed. *)
+
 val exponential : t -> rate:float -> float
 
 val shuffle : t -> 'a array -> unit

@@ -595,41 +595,241 @@ let test_json_flow_result () =
 (* Variation                                                         *)
 
 module Va = Emflow.Variation
+module Vss = Em_core.Steady_state
+
+let stressed_compacts () =
+  let g = small_grid () in
+  let scaled, _ = Ir.scale_to_ir g ~target:0.05 in
+  let sol = Spice.Mna.solve scaled.Gg.netlist in
+  Ex.extract_compact ~tech:scaled.Gg.tech sol
+
+let cs_of_compact ?(layer = 1) c =
+  {
+    Ex.cs_layer_level = layer;
+    compact = c;
+    cs_node_names = Array.make (Cc.num_nodes c) "";
+    cs_element_ids = Array.init (Cc.num_segments c) Fun.id;
+  }
+
+let healthy_line_compact () =
+  Cc.make ~num_nodes:3 ~tail:[| 0; 1 |] ~head:[| 1; 2 |]
+    ~length:[| 30e-6; 20e-6 |] ~width:[| 1e-6; 1e-6 |]
+    ~height:[| 1e-6; 1e-6 |] ~j:[| 2e10; 2e10 |]
+
+let stats_bits_equal (a : Va.structure_stats) (b : Va.structure_stats) =
+  let bits = Int64.bits_of_float in
+  a.Va.index = b.Va.index && a.Va.layer = b.Va.layer
+  && a.Va.nominal_immortal = b.Va.nominal_immortal
+  && a.Va.samples_ok = b.Va.samples_ok
+  && a.Va.samples_failed = b.Va.samples_failed
+  && bits a.Va.mortality_probability = bits b.Va.mortality_probability
+  && bits a.Va.mean_max_stress = bits b.Va.mean_max_stress
+  && bits a.Va.std_max_stress = bits b.Va.std_max_stress
+  && bits a.Va.q50_max_stress = bits b.Va.q50_max_stress
+  && bits a.Va.q90_max_stress = bits b.Va.q90_max_stress
+  && bits a.Va.q99_max_stress = bits b.Va.q99_max_stress
 
 let test_variation_zero_sigma_degenerates () =
   let structures =
     stressed_structures () |> List.filteri (fun i _ -> i < 6)
   in
   let spec =
-    { Va.width_sigma = 0.; thickness_sigma = 0.; crit_sigma = 0.;
+    { Va.default_spec with
+      Va.width_sigma = 0.; thickness_sigma = 0.; crit_sigma = 0.;
       samples = 5; seed = 1L }
   in
+  let r = Va.run spec structures in
+  Alcotest.(check int) "no diagnostics" 0 (List.length r.Va.diags);
   List.iter
     (fun st ->
       let expected = if st.Va.nominal_immortal then 0. else 1. in
       T_helpers.check_close "probability collapses" expected
         st.Va.mortality_probability;
-      T_helpers.check_close ~atol:1e-6 "no spread" 0. st.Va.std_max_stress)
-    (Va.run spec structures)
+      T_helpers.check_close ~atol:1e-6 "no spread" 0. st.Va.std_max_stress;
+      Alcotest.(check int) "all samples ok" 5 st.Va.samples_ok;
+      (* All five samples identical: every quantile is the mean. *)
+      T_helpers.check_close ~rtol:1e-12 "quantiles collapse"
+        st.Va.mean_max_stress st.Va.q50_max_stress)
+    r.Va.stats
 
 let test_variation_probabilities_valid () =
   let structures =
     stressed_structures () |> List.filteri (fun i _ -> i < 6)
   in
-  let stats = Va.run { Va.default_spec with Va.samples = 50 } structures in
+  let spec = { Va.default_spec with Va.samples = 50 } in
+  let r = Va.run spec structures in
   List.iter
     (fun st ->
       Alcotest.(check bool) "in [0,1]" true
         (st.Va.mortality_probability >= 0. && st.Va.mortality_probability <= 1.);
-      Alcotest.(check bool) "positive spread" true (st.Va.std_max_stress > 0.))
-    stats;
-  (* Deterministic by seed. *)
-  let again = Va.run { Va.default_spec with Va.samples = 50 } structures in
+      Alcotest.(check bool) "positive spread" true (st.Va.std_max_stress > 0.);
+      Alcotest.(check int) "denominator accounted" 50
+        (st.Va.samples_ok + st.Va.samples_failed);
+      (* Quantile estimates stay ordered (slack for the P2 markers). *)
+      let slack = st.Va.std_max_stress in
+      Alcotest.(check bool) "quantiles ordered" true
+        (st.Va.q50_max_stress <= st.Va.q90_max_stress +. slack
+        && st.Va.q90_max_stress <= st.Va.q99_max_stress +. slack))
+    r.Va.stats;
+  (* Bit-deterministic by seed across runs. *)
+  let again = Va.run spec structures in
   List.iter2
     (fun a b ->
-      T_helpers.check_close "deterministic" a.Va.mortality_probability
-        b.Va.mortality_probability)
-    stats again
+      Alcotest.(check bool) "bit-identical rerun" true (stats_bits_equal a b))
+    r.Va.stats again.Va.stats
+
+(* The determinism contract: neither the domain count nor the block
+   size may change a single output bit for a fixed seed. *)
+let test_variation_jobs_block_bit_identical () =
+  let compacts = stressed_compacts () in
+  let spec = { Va.default_spec with Va.samples = 40 } in
+  let base = Va.run_compact ~jobs:1 spec compacts in
+  let par = Va.run_compact ~jobs:4 spec compacts in
+  let blocked =
+    Va.run_compact ~jobs:4 { spec with Va.block = 7 } compacts
+  in
+  Alcotest.(check int) "same structure count"
+    (List.length base.Va.stats) (List.length par.Va.stats);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "-j 1 vs -j 4 bit-identical" true
+        (stats_bits_equal a b))
+    base.Va.stats par.Va.stats;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "block size invisible" true (stats_bits_equal a b))
+    base.Va.stats blocked.Va.stats
+
+(* The vectorized kernel against its scalar oracle: perturb-one-sample
+   with the same stream, solve with the reference columnar solver, and
+   require identical mortal counts, bit-identical small-count quantiles
+   (P2 is exact at n <= 5), and matching moments. *)
+let test_variation_matches_scalar_oracle () =
+  let compacts = stressed_compacts () |> List.filteri (fun i _ -> i < 4) in
+  let nsamples = 5 in
+  let spec = { Va.default_spec with Va.samples = nsamples } in
+  let r = Va.run_compact ~jobs:1 spec compacts in
+  let material = M.cu_dac21 in
+  let sigma_c = M.effective_critical_stress material in
+  (* Replicate the engine's stream layout: one split per structure, in
+     index order. *)
+  let master = Numerics.Rng.create spec.Va.seed in
+  let rngs = Array.make (List.length compacts) master in
+  for i = 0 to Array.length rngs - 1 do
+    rngs.(i) <- Numerics.Rng.split master
+  done;
+  List.iteri
+    (fun i (cs : Ex.compact_structure) ->
+      let rng = rngs.(i) in
+      let st = List.nth r.Va.stats i in
+      let maxes = Array.make nsamples 0. in
+      let mortal = ref 0 in
+      for s = 0 to nsamples - 1 do
+        let c' = Va.perturb_compact rng spec cs.Ex.compact in
+        let thr = sigma_c *. Va.factor rng spec.Va.crit_sigma in
+        let mx, _ = Vss.max_stress (Vss.solve_compact material c') in
+        maxes.(s) <- mx;
+        if mx >= thr then incr mortal
+      done;
+      Alcotest.(check int) "all samples ok" nsamples st.Va.samples_ok;
+      Alcotest.(check bool) "mortality matches oracle" true
+        (st.Va.mortality_probability
+        = float_of_int !mortal /. float_of_int nsamples);
+      T_helpers.check_close ~rtol:1e-12 "mean matches oracle"
+        (Numerics.Stats.mean maxes) st.Va.mean_max_stress;
+      T_helpers.check_close ~rtol:1e-9 "std matches oracle"
+        (Numerics.Stats.stddev maxes) st.Va.std_max_stress;
+      let bits = Int64.bits_of_float in
+      Alcotest.(check bool) "q50 bit-identical to exact" true
+        (bits st.Va.q50_max_stress
+        = bits (Numerics.Stats.percentile maxes 50.));
+      Alcotest.(check bool) "q90 bit-identical to exact" true
+        (bits st.Va.q90_max_stress
+        = bits (Numerics.Stats.percentile maxes 90.));
+      Alcotest.(check bool) "q99 bit-identical to exact" true
+        (bits st.Va.q99_max_stress
+        = bits (Numerics.Stats.percentile maxes 99.)))
+    compacts
+
+(* A structure engineered so a fraction of the perturbed samples
+   overflow (the sampled stress scale sits just under max_float):
+   those samples must become counted diagnostics, not a crash, and not
+   poison the denominator. *)
+let test_variation_partial_degenerate_isolated () =
+  (* For this two-segment line the peak stress is beta*j/p1 with p1 the
+     first segment's sampled area factor, so beta*j = 0.98*max_float
+     puts the overflow boundary at p1 = 0.98: a substantial fraction of
+     samples (those drawn slightly thinner than nominal) overflow to
+     infinity while the nominal solve and the rest stay finite. *)
+  let beta = M.beta M.cu_dac21 in
+  let j = 0.98 *. Float.max_float /. beta in
+  let risky =
+    cs_of_compact ~layer:2
+      (Cc.make ~num_nodes:3 ~tail:[| 0; 1 |] ~head:[| 1; 2 |]
+         ~length:[| 1.; 1. |] ~width:[| 1.; 1. |] ~height:[| 1.; 1. |]
+         ~j:[| j; j |])
+  in
+  let healthy = cs_of_compact (healthy_line_compact ()) in
+  let spec = { Va.default_spec with Va.samples = 400 } in
+  let r = Va.run_compact ~jobs:2 spec [ risky; healthy ] in
+  Alcotest.(check int) "both structures analyzed" 2 (List.length r.Va.stats);
+  let st0 = List.nth r.Va.stats 0 in
+  Alcotest.(check int) "denominator accounted" 400
+    (st0.Va.samples_ok + st0.Va.samples_failed);
+  Alcotest.(check bool) "some samples degenerate" true
+    (st0.Va.samples_failed > 0);
+  Alcotest.(check bool) "some samples survive" true (st0.Va.samples_ok > 0);
+  Alcotest.(check bool) "probability over ok denominator" true
+    (st0.Va.mortality_probability >= 0. && st0.Va.mortality_probability <= 1.);
+  (match r.Va.diags with
+  | [ d ] ->
+    Alcotest.(check string) "code" "degenerate-samples" d.Em_core.Diag.code;
+    Alcotest.(check bool) "warning severity" true
+      (d.Em_core.Diag.severity = Em_core.Diag.Warning);
+    (match d.Em_core.Diag.source with
+    | Em_core.Diag.Structure { index; layer } ->
+      Alcotest.(check int) "diag index" 0 index;
+      Alcotest.(check int) "diag layer" 2 layer
+    | _ -> Alcotest.fail "diagnostic source is not a structure")
+  | ds ->
+    Alcotest.failf "expected exactly one diagnostic, got %d" (List.length ds));
+  (* Isolation: the healthy structure at index 1 gets the same stream —
+     and hence bit-identical results — no matter what sits at index 0. *)
+  let control =
+    Va.run_compact ~jobs:1 spec
+      [ cs_of_compact (healthy_line_compact ()); healthy ]
+  in
+  Alcotest.(check bool) "healthy structure unaffected" true
+    (stats_bits_equal (List.nth r.Va.stats 1) (List.nth control.Va.stats 1))
+
+(* A structure whose volume underflows to zero on every sample: the
+   nominal solve and all samples are degenerate — an error diagnostic,
+   a nan probability, and a completed run. *)
+let test_variation_all_degenerate () =
+  let degenerate =
+    cs_of_compact ~layer:3
+      (Cc.make ~num_nodes:2 ~tail:[| 0 |] ~head:[| 1 |] ~length:[| 1e-6 |]
+         ~width:[| 1e-170 |] ~height:[| 1e-170 |] ~j:[| 1e10 |])
+  in
+  let healthy = cs_of_compact (healthy_line_compact ()) in
+  let spec = { Va.default_spec with Va.samples = 20 } in
+  let r = Va.run_compact ~jobs:2 spec [ degenerate; healthy ] in
+  let st0 = List.nth r.Va.stats 0 in
+  Alcotest.(check int) "no sample survives" 0 st0.Va.samples_ok;
+  Alcotest.(check int) "all samples counted" 20 st0.Va.samples_failed;
+  Alcotest.(check bool) "probability is nan" true
+    (Float.is_nan st0.Va.mortality_probability);
+  Alcotest.(check bool) "nominal solve degenerate, not fatal" true
+    (not st0.Va.nominal_immortal);
+  (match r.Va.diags with
+  | [ d ] ->
+    Alcotest.(check string) "code" "degenerate-samples" d.Em_core.Diag.code;
+    Alcotest.(check bool) "error severity" true
+      (d.Em_core.Diag.severity = Em_core.Diag.Error)
+  | ds ->
+    Alcotest.failf "expected exactly one diagnostic, got %d" (List.length ds));
+  let st1 = List.nth r.Va.stats 1 in
+  Alcotest.(check int) "healthy structure completes" 20 st1.Va.samples_ok
 
 let test_variation_perturbation_preserves_current () =
   let s =
@@ -646,13 +846,41 @@ let test_variation_perturbation_preserves_current () =
       ((St.seg s' k).St.width <> (St.seg s k).St.width)
   done
 
+(* The clamp-free factor: strictly positive always, mean preserved at
+   1 within sampling noise for any practical sigma (the old 0.2 floor
+   shifted it). *)
+let test_variation_factor_mean_qcheck =
+  T_helpers.qcheck ~count:15 "factor mean stays at 1"
+    QCheck2.Gen.(pair (int_range 1 30) int)
+    (fun (sigma_pct, seed) ->
+      let sigma = float_of_int sigma_pct /. 100. in
+      let rng = Numerics.Rng.create (Int64.of_int seed) in
+      let n = 20000 in
+      let acc = ref 0. in
+      for _ = 1 to n do
+        let f = Va.factor rng sigma in
+        if f <= 0. then QCheck2.Test.fail_report "non-positive factor";
+        acc := !acc +. f
+      done;
+      let mean = !acc /. float_of_int n in
+      if Float.abs (mean -. 1.) > 0.012 then
+        QCheck2.Test.fail_reportf "mean %.4f at sigma %.2f" mean sigma;
+      true)
+
 let test_variation_table () =
   let structures =
     stressed_structures () |> List.filteri (fun i _ -> i < 4)
   in
-  let stats = Va.run { Va.default_spec with Va.samples = 10 } structures in
-  let rendered = Emflow.Report.render (Va.to_table stats) in
-  Alcotest.(check bool) "renders" true (String.length rendered > 100)
+  let r = Va.run { Va.default_spec with Va.samples = 10 } structures in
+  let rendered = Emflow.Report.render (Va.to_table r.Va.stats) in
+  Alcotest.(check bool) "renders" true (String.length rendered > 100);
+  Alcotest.(check bool) "has quantile columns" true
+    (let contains hay needle =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains rendered "p99 MPa" && contains rendered "degen")
 
 (* ---------------------------------------------------------------- *)
 (* Profiles                                                          *)
@@ -1093,7 +1321,12 @@ let suites =
       [
         case "zero sigma degenerates" test_variation_zero_sigma_degenerates;
         case "valid probabilities, deterministic" test_variation_probabilities_valid;
+        case "jobs and block bit-identical" test_variation_jobs_block_bit_identical;
+        case "matches scalar oracle" test_variation_matches_scalar_oracle;
+        case "partial degeneracy isolated" test_variation_partial_degenerate_isolated;
+        case "all-degenerate structure survives" test_variation_all_degenerate;
         case "perturbation preserves currents" test_variation_perturbation_preserves_current;
+        test_variation_factor_mean_qcheck;
         case "renders" test_variation_table;
       ] );
     ( "flow.profiles", [ case "exact piecewise-linear samples" test_profiles_exact_linearity ] );

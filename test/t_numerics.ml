@@ -303,10 +303,78 @@ let test_tridiag_single () =
 let test_stats_basics () =
   let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
   check_close "mean" 5. (Stats.mean xs);
-  check_close "stddev" 2. (Stats.stddev xs);
+  (* Sample stddev: sum of squares 32 over n - 1 = 7 (Bessel). *)
+  check_close "stddev" (sqrt (32. /. 7.)) (Stats.stddev xs);
   let lo, hi = Stats.min_max xs in
   check_close "min" 2. lo;
   check_close "max" 9. hi
+
+(* Regression pin for the Bessel correction: variance/stddev report
+   sample statistics, not the population formula that biased small-n
+   spreads low. *)
+let test_stats_variance_bessel () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_close "variance" (5. /. 3.) (Stats.variance xs);
+  check_close "stddev" (sqrt (5. /. 3.)) (Stats.stddev xs);
+  check_close "single observation" 0. (Stats.variance [| 42. |]);
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Stats.variance [||]))
+
+let test_stats_online_welford () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  let o = Stats.Online.create () in
+  Array.iter (Stats.Online.add o) xs;
+  Alcotest.(check int) "count" 8 (Stats.Online.count o);
+  check_close "mean matches batch" (Stats.mean xs) (Stats.Online.mean o);
+  check_close "variance matches batch" (Stats.variance xs)
+    (Stats.Online.variance o);
+  check_close "stddev matches batch" (Stats.stddev xs) (Stats.Online.stddev o);
+  let empty = Stats.Online.create () in
+  Alcotest.(check bool) "empty mean nan" true
+    (Float.is_nan (Stats.Online.mean empty));
+  Alcotest.(check bool) "empty variance nan" true
+    (Float.is_nan (Stats.Online.variance empty));
+  Stats.Online.add empty 3.;
+  check_close "single mean" 3. (Stats.Online.mean empty);
+  check_close "single variance" 0. (Stats.Online.variance empty)
+
+let test_stats_p2_small_exact () =
+  (* Up to five observations the streaming estimator must agree with the
+     exact interpolated order statistic, in any arrival order. *)
+  let xs = [| 9.; 1.; 5.; 3.; 7. |] in
+  List.iter
+    (fun p ->
+      let est = Stats.P2.create (p /. 100.) in
+      Alcotest.(check bool) "empty is nan" true
+        (Float.is_nan (Stats.P2.quantile est));
+      Array.iteri
+        (fun i x ->
+          Stats.P2.add est x;
+          let prefix = Array.sub xs 0 (i + 1) in
+          check_close
+            (Printf.sprintf "p%.0f after %d obs" p (i + 1))
+            (Stats.percentile prefix p)
+            (Stats.P2.quantile est))
+        xs)
+    [ 10.; 50.; 90.; 99. ]
+
+let test_stats_p2_large_approximates () =
+  let rng = Rng.create 7L in
+  let n = 1000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mean:0. ~stddev:1.) in
+  List.iter
+    (fun p ->
+      let est = Stats.P2.create (p /. 100.) in
+      Array.iter (Stats.P2.add est) xs;
+      Alcotest.(check int) "count" n (Stats.P2.count est);
+      let exact = Stats.percentile xs p in
+      let err = Float.abs (Stats.P2.quantile est -. exact) in
+      if err > 0.15 then
+        Alcotest.failf "P2 p%.0f off by %.3f (est %.3f, exact %.3f)" p err
+          (Stats.P2.quantile est) exact)
+    [ 50.; 90.; 99. ];
+  check_raises_invalid "p out of range" (fun () -> ignore (Stats.P2.create 0.));
+  check_raises_invalid "p out of range" (fun () -> ignore (Stats.P2.create 1.))
 
 let test_stats_percentile () =
   let xs = [| 1.; 2.; 3.; 4. |] in
@@ -318,6 +386,16 @@ let test_stats_percentile () =
 let test_stats_errors () =
   check_raises_invalid "empty percentile" (fun () -> Stats.percentile [||] 50.);
   check_raises_invalid "bad p" (fun () -> Stats.percentile [| 1. |] 101.)
+
+(* The sort inside percentile uses Float.compare (total order: nan
+   first), not polymorphic compare — pin the observable behavior. *)
+let test_stats_percentile_float_compare () =
+  let xs = [| 3.; Float.nan; 1. |] in
+  Alcotest.(check bool) "nan sorts first" true
+    (Float.is_nan (Stats.percentile xs 0.));
+  check_close "max ignores leading nan" 3. (Stats.percentile xs 100.);
+  check_close "negative zero orders before positive" (-0.)
+    (Stats.percentile [| 0.; -0. |] 0.)
 
 let test_stats_histogram () =
   let xs = [| 0.1; 0.2; 0.6; 2.5; -1. |] in
@@ -356,6 +434,24 @@ let test_rng_gaussian_moments () =
   let xs = Array.init n (fun _ -> Rng.gaussian rng ~mean:3. ~stddev:2.) in
   check_close ~rtol:0.05 "gauss mean" 3. (Stats.mean xs);
   check_close ~rtol:0.05 "gauss stddev" 2. (Stats.stddev xs)
+
+let test_rng_gaussian_positive () =
+  let rng = Rng.create 6L in
+  (* Heavy truncation (mean 1, sigma 2 rejects ~31% of draws): every
+     result is still strictly positive. *)
+  for _ = 1 to 5000 do
+    Alcotest.(check bool) "strictly positive" true
+      (Rng.gaussian_positive rng ~mean:1. ~stddev:2. > 0.)
+  done;
+  (* Mild truncation: the rejection sampler keeps the mean (a hard clamp
+     would shift it up). *)
+  let n = 20000 in
+  let xs =
+    Array.init n (fun _ -> Rng.gaussian_positive rng ~mean:1. ~stddev:0.25)
+  in
+  check_close ~rtol:0.01 "mean preserved" 1. (Stats.mean xs);
+  check_raises_invalid "non-positive mean" (fun () ->
+      ignore (Rng.gaussian_positive rng ~mean:0. ~stddev:1.))
 
 let test_rng_shuffle_permutes () =
   let rng = Rng.create 31L in
@@ -666,7 +762,12 @@ let suites =
     ( "numerics.stats",
       [
         case "mean/stddev/minmax" test_stats_basics;
+        case "Bessel-corrected variance" test_stats_variance_bessel;
+        case "Welford online moments" test_stats_online_welford;
+        case "P2 exact on small counts" test_stats_p2_small_exact;
+        case "P2 approximates large counts" test_stats_p2_large_approximates;
         case "percentiles" test_stats_percentile;
+        case "percentile Float.compare order" test_stats_percentile_float_compare;
         case "error handling" test_stats_errors;
         case "histogram clamping" test_stats_histogram;
         case "rmse / max_rel_error" test_stats_errors_metrics;
@@ -687,6 +788,7 @@ let suites =
         case "determinism" test_rng_determinism;
         case "ranges" test_rng_ranges;
         case "gaussian moments" test_rng_gaussian_moments;
+        case "zero-truncated gaussian" test_rng_gaussian_positive;
         case "shuffle permutes" test_rng_shuffle_permutes;
         case "split independence" test_rng_split_independent;
       ] );
