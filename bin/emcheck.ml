@@ -124,9 +124,11 @@ let flight_dump_arg =
     & opt (some string) None
     & info [ "flight-dump" ] ~docv:"FILE"
         ~doc:
-          "On failure (an analysis error or a non-zero exit), also write \
-           the full flight-recorder ring to $(docv) as JSON lines; the \
-           most recent events always go to standard error.")
+          "Write the full flight-recorder ring to $(docv) as JSON lines \
+           when the run ends — on failure (an analysis error or a \
+           non-zero exit, when the most recent events also go to \
+           standard error) and on clean exits, so successful long runs \
+           can archive their ring too.")
 
 (* Failure path: show the most recent flight events on stderr and, when
    asked, persist the whole ring as JSON lines. *)
@@ -149,9 +151,95 @@ let dump_flight ~flight_dump () =
         (List.length events) path
   end
 
+(* Clean-exit path: no stderr spew, but an explicitly requested
+   --flight-dump archive is still written. *)
+let archive_flight ~flight_dump () =
+  match flight_dump with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Obs.Flight.dump_json oc);
+    Printf.printf "flight recorder dump (%d events) written to %s\n%!"
+      (List.length (Obs.Flight.events ())) path
+
 let parse_recoveries =
   Obs.Metrics.counter ~help:"Malformed netlist lines skipped in recovery mode"
     "em_parse_recoveries_total"
+
+(* ------------------------------------------------------------------ *)
+(* Live telemetry server (emcheck analyze --listen)                    *)
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"[ADDR:]PORT"
+        ~doc:
+          "Serve live telemetry over HTTP while the analysis runs: \
+           $(b,GET /metrics) (Prometheus exposition), $(b,/healthz) \
+           (JSON liveness with pipeline phase and structure progress), \
+           $(b,/trace) (Chrome-trace snapshot), $(b,/profile) \
+           (speedscope snapshot) and $(b,/flight) (flight-recorder \
+           dump). The address defaults to 127.0.0.1; port 0 picks an \
+           ephemeral port (printed at startup). The server never \
+           changes analysis results.")
+
+let parse_listen spec =
+  let addr, port_s =
+    match String.rindex_opt spec ':' with
+    | None -> ("127.0.0.1", spec)
+    | Some i ->
+      (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  in
+  match int_of_string_opt port_s with
+  | Some p when p >= 0 && p <= 65535 -> (addr, p)
+  | _ ->
+    failwith
+      (Printf.sprintf "--listen %s: expected [ADDR:]PORT with a port in 0..65535"
+         spec)
+
+type live = { lv_server : Obs.Serve.t; lv_monitor : Obs.Runtime.monitor }
+
+(* Start the endpoint server plus the 1 Hz process monitor. Metrics and
+   run-state publication must be on for the gauges to move; tracing and
+   profiling stay under their own flags (--trace/--profile), so /trace
+   and /profile serve empty-but-valid documents unless those were also
+   requested. *)
+let start_live ~listen () =
+  match listen with
+  | None -> None
+  | Some spec ->
+    let addr, port = parse_listen spec in
+    Obs.Metrics.set_enabled true;
+    Obs.Runtime.set_enabled true;
+    let server =
+      try Obs.Serve.start ~addr ~port ()
+      with Unix.Unix_error (err, _, _) ->
+        failwith
+          (Printf.sprintf "--listen %s: cannot bind: %s" spec
+             (Unix.error_message err))
+    in
+    let monitor = Obs.Runtime.start () in
+    Printf.printf
+      "Live telemetry on http://%s:%d/ (endpoints: /metrics /healthz /trace \
+       /profile /flight)\n%!"
+      addr (Obs.Serve.port server);
+    Some { lv_server = server; lv_monitor = monitor }
+
+(* Shutdown ordering: the server first (an in-flight scrape finishes;
+   later connections are refused), then the monitor (whose final sample
+   is what a post-run /metrics file would have shown anyway). *)
+let stop_live live =
+  Option.iter
+    (fun { lv_server; lv_monitor } ->
+      Obs.Serve.stop lv_server;
+      Obs.Runtime.stop lv_monitor;
+      Obs.Runtime.set_enabled false;
+      Printf.printf "Live telemetry server stopped after %d requests\n%!"
+        (Obs.Serve.requests_served lv_server))
+    live
 
 (* ------------------------------------------------------------------ *)
 (* Sampling profiler plumbing (emcheck analyze/stats --profile)        *)
@@ -313,8 +401,18 @@ let exit_code_of_diags ~strict diags =
 let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     json_path html_path keep_going strict max_errors trace_path metrics_path
     profile_path profile_rate profile_format engine jobs variation mc_samples
-    mc_seed =
+    mc_seed listen =
   let material = material_of ~sigma_t ~temperature in
+  (* Whether the *user* asked for telemetry in the report. --listen also
+     enables the metrics registry (the gauges must move for /metrics),
+     but must not change the JSON report — the on/off bit-identity
+     contract covers the whole output. *)
+  let telemetry_requested =
+    Option.is_some trace_path || Option.is_some metrics_path
+    || Option.is_some profile_path
+  in
+  let live = start_live ~listen () in
+  Fun.protect ~finally:(fun () -> stop_live live) @@ fun () ->
   let trace, sampler =
     start_telemetry ~trace_path ~metrics_path ~profile_path ~profile_rate
   in
@@ -493,9 +591,12 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
           | Some vr -> [ ("variation", Emflow.Json_out.of_variation vr) ]
           | None -> [])
         @
-        (* Embed the run's telemetry when it was collected, so one JSON
-           file carries both the verdicts and the run profile. *)
-        if Obs.Metrics.is_enabled () then
+        (* Embed the run's telemetry when the user asked for it
+           (--trace/--metrics/--profile), so one JSON file carries both
+           the verdicts and the run profile. Deliberately not keyed on
+           [Obs.Metrics.is_enabled]: --listen enables the registry too
+           but must leave the report identical to a no-listen run. *)
+        if telemetry_requested then
           [ ("telemetry", Emflow.Json_out.of_telemetry ?profile ()) ]
         else [])
     in
@@ -634,10 +735,11 @@ let analyze_cmd =
                     html keep_going strict max_errors trace_path metrics_path
                     profile_path profile_rate profile_format engine jobs
                     variation mc_samples mc_seed
-                    log_level log_json flight_dump ->
+                    log_level log_json flight_dump listen ->
              let finish_log = start_logging ~log_level ~log_json in
              (* The flight recorder is always armed during analyze; its
-                ring only surfaces on failure. *)
+                ring surfaces on stderr on failure and is archived to
+                --flight-dump on any exit. *)
              Obs.Flight.set_enabled true;
              let fail msg =
                dump_flight ~flight_dump ();
@@ -648,10 +750,11 @@ let analyze_cmd =
                  analyze_netlist path tech sigma_t temperature with_maxpath
                    top fix json html keep_going strict max_errors trace_path
                    metrics_path profile_path profile_rate profile_format
-                   engine jobs variation mc_samples mc_seed
+                   engine jobs variation mc_samples mc_seed listen
                with
                | `Ok n ->
-                 if n <> 0 then dump_flight ~flight_dump ();
+                 if n <> 0 then dump_flight ~flight_dump ()
+                 else archive_flight ~flight_dump ();
                  `Ok n
                | exception Spice.Parser.Parse_error { line; message } ->
                  fail (Printf.sprintf "%s:%d: %s" path line message)
@@ -667,7 +770,8 @@ let analyze_cmd =
         $ fix $ json_path $ html_path $ keep_going $ strict $ max_errors
         $ trace_arg $ metrics_arg $ profile_arg $ profile_rate_arg
         $ profile_format_arg $ engine $ jobs $ variation $ mc_samples
-        $ mc_seed $ log_level_arg $ log_json_arg $ flight_dump_arg))
+        $ mc_seed $ log_level_arg $ log_json_arg $ flight_dump_arg
+        $ listen_arg))
   in
   Cmd.v
     (Cmd.info "analyze"

@@ -76,7 +76,8 @@ let obs_metrics doc =
       | None -> None)
     [
       "off_s"; "metrics_on_ratio"; "trace_on_ratio";
-      "profile_off_ratio"; "profile_on_ratio"; "profile_snapshot_ns";
+      "profile_off_ratio"; "profile_on_ratio"; "serve_scrape_ratio";
+      "profile_snapshot_ns";
       "disabled_counter_inc_ns"; "disabled_span_ns";
       "estimated_disabled_overhead_pct";
     ]
@@ -201,6 +202,11 @@ let direction_of_metric metric =
 let threshold_pct ~bench ~metric =
   let b = base_name metric in
   match bench with
+  (* The scrape-under-load ratio is a paired measurement of a ~10ms
+     flow; on the single-core CI host stop-the-world rendezvous jitter
+     alone swings it by ~25%, so its gate is wider than the other obs
+     ratios. *)
+  | "obs" when String.equal b "serve_scrape_ratio" -> 40.
   | "obs" when ends_with ~suffix:"_ratio" b -> 15.
   | "obs" when ends_with ~suffix:"_ns" b -> 50.
   | "obs" -> 50.

@@ -141,7 +141,7 @@ let analyze_traced material with_maxpath ~tuning ~par_jobs ws index
     Obs.Metrics.time structure_solve_seconds (fun () ->
         analyze_one material with_maxpath ~tuning ~par_jobs ws cs)
   in
-  let records =
+  let traced () =
     if Obs.Trace.enabled () then
       let c = cs.Extract.compact in
       Obs.Trace.with_span
@@ -155,8 +155,17 @@ let analyze_traced material with_maxpath ~tuning ~par_jobs ws index
         "structure" run
     else run ()
   in
-  Obs.Metrics.inc structures_analyzed;
-  records
+  (* Live progress counts finished structures, successful or
+     fault-isolated, so /healthz reaches done = total even on decks
+     with failing structures. *)
+  match traced () with
+  | records ->
+    Obs.Metrics.inc structures_analyzed;
+    Obs.Runtime.structure_done ();
+    records
+  | exception e ->
+    Obs.Runtime.structure_done ();
+    raise e
 
 (* Fault isolation: one structure whose analysis threw (degenerate
    geometry, disconnected columns, a solver bug) is recorded as an error
@@ -194,6 +203,7 @@ let finish_run p ~material ~with_maxpath ~tuning ?jobs compacts =
   let wall0 = Unix.gettimeofday () in
   let compacts_arr = Array.of_list compacts in
   let nstruct = Array.length compacts_arr in
+  Obs.Runtime.set_structures_total nstruct;
   let jobs_resolved = match jobs with Some j -> max 1 j | None -> 1 in
   let is_huge i =
     jobs_resolved > 1

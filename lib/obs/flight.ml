@@ -117,11 +117,10 @@ let dump ?limit oc =
            (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) e.fl_detail)))
     (take_last limit (events ()))
 
-let dump_json oc =
+let to_json_lines () =
   let buf = Buffer.create 256 in
   List.iter
     (fun e ->
-      Buffer.clear buf;
       Buffer.add_string buf "{\"ts_us\":";
       Jsonx.add_float buf e.fl_ts_us;
       Buffer.add_string buf ",\"track\":";
@@ -140,6 +139,8 @@ let dump_json oc =
           Buffer.add_char buf ':';
           Jsonx.add_string buf v)
         e.fl_detail;
-      Buffer.add_string buf "}}\n";
-      Buffer.output_buffer oc buf)
-    (events ())
+      Buffer.add_string buf "}}\n")
+    (events ());
+  Buffer.contents buf
+
+let dump_json oc = output_string oc (to_json_lines ())

@@ -56,6 +56,12 @@ val start : ?rate_hz:float -> unit -> sampler
 val stop : sampler -> profile
 (** Signal the ticker, join it, and return the aggregated profile. *)
 
+val snapshot : unit -> profile option
+(** Aggregate what the running sampler has observed {e so far}
+    ([duration_us] is the window up to now), without stopping it —
+    what the [/profile] live endpoint serves. [None] when no sampler
+    is running. Safe from any domain. *)
+
 val is_running : unit -> bool
 
 val rate : sampler -> float

@@ -136,6 +136,11 @@ let stack_key : dstack Domain.DLS.key =
 
 let retire_stack () = registry_remove (Domain.DLS.get stack_key)
 
+let stack_depths () =
+  List.map
+    (fun ds -> (ds.ds_track, max 0 (Atomic.get ds.ds_depth)))
+    (Atomic.get dstacks)
+
 let stack_snapshots () =
   List.filter_map
     (fun ds ->

@@ -123,6 +123,11 @@ val stack_snapshots : unit -> (int * string list) list
 (** One [(track, open span names, root first)] per registered domain
     with a non-empty stack, read without blocking the owners. *)
 
+val stack_depths : unit -> (int * int) list
+(** One [(track, open-span depth)] per registered domain — including
+    idle ones at depth 0, which {!stack_snapshots} omits. Feeds the
+    {!Runtime} monitor's per-lane depth gauges. *)
+
 val retire_stack : unit -> unit
 (** Unregister the calling domain's published stack. Call from a worker
     domain about to terminate so the snapshot registry does not
