@@ -109,6 +109,33 @@ let run cfg =
     t_profile_off profile_off_ratio;
   B_util.note "flow, profiler at %.0f Hz:  %.3fs (%.2fx vs traced, %d samples)"
     Obs.Profile.default_rate_hz t_profile_on profile_on_ratio !last_samples;
+  (* Numerical-audit overhead: disabled, the flow executes no audit code
+     at all (the option is [None] — one match per structure), so the
+     paired disabled run re-measures the plain flow and any drift from
+     1.0 is timer noise. Enabled, every structure's solver output is
+     replayed expression-by-expression (Blech sums, norms, telescoping,
+     flux/mass balances) — roughly a second pass over the CSR. The
+     repetitions interleave off/on so both best-of timings sample the
+     same machine conditions, and the on/off ratio is what bench-history
+     gates. *)
+  let t_audit_off = ref infinity in
+  let t_audit_on = ref infinity in
+  for _ = 1 to reps do
+    let _, toff = B_util.wall (fun () -> Flow.run_on_compact compacts) in
+    if toff < !t_audit_off then t_audit_off := toff;
+    let _, ton =
+      B_util.wall (fun () ->
+          Flow.run_on_compact ~audit:Flow.default_audit_config compacts)
+    in
+    if ton < !t_audit_on then t_audit_on := ton
+  done;
+  let t_audit_off = !t_audit_off and t_audit_on = !t_audit_on in
+  let audit_overhead_ratio = t_audit_on /. t_audit_off in
+  let audit_disabled_ratio = t_audit_off /. t_off in
+  B_util.note "flow, audit off (paired):   %.3fs (%.2fx vs off — noise floor)"
+    t_audit_off audit_disabled_ratio;
+  B_util.note "flow, audit on:             %.3fs (%.2fx vs paired off)"
+    t_audit_on audit_overhead_ratio;
   (* Scrape-under-load: the flow with metrics on, the live endpoint
      server up, the 1 Hz runtime monitor running, and a scraper domain
      hitting /metrics at ~20 Hz — ~300x a real Prometheus poll (one per
@@ -238,6 +265,10 @@ let run cfg =
          ("profile_off_ratio", J.Float profile_off_ratio);
          ("profile_on_ratio", J.Float profile_on_ratio);
          ("profile_samples", J.Int !last_samples);
+         ("audit_off_s", J.Float t_audit_off);
+         ("audit_on_s", J.Float t_audit_on);
+         ("audit_overhead_ratio", J.Float audit_overhead_ratio);
+         ("audit_disabled_ratio", J.Float audit_disabled_ratio);
          ("serve_idle_s", J.Float t_serve_idle);
          ("serve_on_s", J.Float t_serve);
          ("serve_infra_ratio", J.Float infra_ratio);

@@ -169,6 +169,93 @@ let parse_recoveries =
     "em_parse_recoveries_total"
 
 (* ------------------------------------------------------------------ *)
+(* Numerical audit plumbing (emcheck analyze --audit, emcheck explain) *)
+
+let audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Audit every structure's steady-state solution at run time: \
+           replay the solver's exact invariants (Blech-sum schedule, \
+           normalization constants, stress telescoping — all gated at \
+           exactly zero), check the physical conservation laws against \
+           $(b,--audit-tol), and attach a signed immortality margin with \
+           the top contributing segments of the critical Blech path. \
+           Residual violations become diagnostics; the aggregate is \
+           served live at $(b,/audit) under $(b,--listen) and embedded \
+           in the $(b,--json) report.")
+
+let audit_tol_arg =
+  Arg.(
+    value
+    & opt float Em_core.Audit.default_tol
+    & info [ "audit-tol" ] ~docv:"REL"
+        ~doc:
+          "Relative tolerance for the physically-rounded audit residuals \
+           (flux and mass conservation). The bit-identity residuals are \
+           always gated at exactly 0.")
+
+let strict_audit_arg =
+  Arg.(
+    value & flag
+    & info [ "strict-audit" ]
+        ~doc:
+          "Make audit-residual violations error diagnostics (non-zero \
+           exit) instead of warnings.")
+
+let audit_top_arg =
+  Arg.(
+    value
+    & opt int Em_core.Audit.default_top_k
+    & info [ "audit-top" ] ~docv:"K"
+        ~doc:
+          "Critical-path steps to keep per structure in the audit \
+           attribution (largest stress contribution first).")
+
+let solve_buckets_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "solve-buckets" ] ~docv:"S1,S2,..."
+        ~doc:
+          "Override the $(b,em_structure_solve_seconds) histogram bucket \
+           bounds (seconds, strictly increasing; $(b,+Inf) is implicit). \
+           The default ladder starts sub-microsecond to resolve compact \
+           solves.")
+
+let apply_solve_buckets = function
+  | None -> ()
+  | Some spec ->
+    let buckets =
+      String.split_on_char ',' spec
+      |> List.map (fun s ->
+             match float_of_string_opt (String.trim s) with
+             | Some f -> f
+             | None ->
+               failwith
+                 (Printf.sprintf "--solve-buckets: %S is not a number" s))
+      |> Array.of_list
+    in
+    (try Flow.set_solve_seconds_buckets buckets
+     with Invalid_argument msg -> failwith msg)
+
+let audit_config_of ~audit ~audit_tol ~strict_audit ~audit_top ~engine =
+  if not audit then None
+  else begin
+    if not (Float.is_finite audit_tol) || audit_tol < 0. then
+      failwith "--audit-tol: expected a non-negative finite tolerance";
+    if audit_top < 0 then failwith "--audit-top: expected a non-negative count";
+    Some
+      {
+        Flow.audit_tol;
+        audit_top_k = audit_top;
+        audit_strict = strict_audit;
+        audit_engine = (match engine with `Fused -> "fused" | `Boxed -> "boxed");
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Live telemetry server (emcheck analyze --listen)                    *)
 
 let listen_arg =
@@ -181,8 +268,9 @@ let listen_arg =
            $(b,GET /metrics) (Prometheus exposition), $(b,/healthz) \
            (JSON liveness with pipeline phase and structure progress), \
            $(b,/trace) (Chrome-trace snapshot), $(b,/profile) \
-           (speedscope snapshot) and $(b,/flight) (flight-recorder \
-           dump). The address defaults to 127.0.0.1; port 0 picks an \
+           (speedscope snapshot), $(b,/flight) (flight-recorder \
+           dump) and $(b,/audit) (live numerical-audit aggregate under \
+           $(b,--audit)). The address defaults to 127.0.0.1; port 0 picks an \
            ephemeral port (printed at startup). The server never \
            changes analysis results.")
 
@@ -224,7 +312,7 @@ let start_live ~listen () =
     let monitor = Obs.Runtime.start () in
     Printf.printf
       "Live telemetry on http://%s:%d/ (endpoints: /metrics /healthz /trace \
-       /profile /flight)\n%!"
+       /profile /flight /audit)\n%!"
       addr (Obs.Serve.port server);
     Some { lv_server = server; lv_monitor = monitor }
 
@@ -401,8 +489,12 @@ let exit_code_of_diags ~strict diags =
 let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     json_path html_path keep_going strict max_errors trace_path metrics_path
     profile_path profile_rate profile_format engine jobs variation mc_samples
-    mc_seed listen =
+    mc_seed audit audit_tol strict_audit audit_top solve_buckets listen =
   let material = material_of ~sigma_t ~temperature in
+  apply_solve_buckets solve_buckets;
+  let audit_cfg =
+    audit_config_of ~audit ~audit_tol ~strict_audit ~audit_top ~engine
+  in
   (* Whether the *user* asked for telemetry in the report. --listen also
      enables the metrics registry (the gauges must move for /metrics),
      but must not change the JSON report — the on/off bit-identity
@@ -412,7 +504,15 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     || Option.is_some profile_path
   in
   let live = start_live ~listen () in
-  Fun.protect ~finally:(fun () -> stop_live live) @@ fun () ->
+  (* The /audit endpoint serves the live aggregate only while an audited
+     analysis owns it; any other time it answers {"enabled":false}. *)
+  if audit then
+    Obs.Runtime.set_audit_provider (Some Em_core.Audit.Live.to_json);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Runtime.set_audit_provider None;
+      stop_live live)
+  @@ fun () ->
   let trace, sampler =
     start_telemetry ~trace_path ~metrics_path ~profile_path ~profile_rate
   in
@@ -447,7 +547,10 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     match engine with
     | `Boxed ->
       let structures = Emflow.Extract.extract ~tech sol in
-      let r = Flow.run_on_structures ~material ~with_maxpath ?jobs structures in
+      let r =
+        Flow.run_on_structures ~material ~with_maxpath ?jobs ?audit:audit_cfg
+          structures
+      in
       (`Boxed structures, r)
     | `Fused ->
       let p = Emflow.Pipeline.create () in
@@ -456,11 +559,39 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
             Emflow.Extract.extract_compact ~tech sol)
       in
       let r =
-        Flow.run_on_compact ~material ~with_maxpath ?jobs ~pipeline:p compacts
+        Flow.run_on_compact ~material ~with_maxpath ?jobs ?audit:audit_cfg
+          ~pipeline:p compacts
       in
       (`Fused compacts, r)
   in
   Format.printf "%a@.@." Flow.pp_summary r;
+  (match audit_cfg with
+  | None -> ()
+  | Some cfg ->
+    let audited = ref 0 and violating = ref 0 in
+    let worst = ref 0. in
+    let min_margin = ref infinity and min_idx = ref (-1) in
+    Array.iter
+      (function
+        | Some (a : Em_core.Audit.t) ->
+          incr audited;
+          if Em_core.Audit.violations ~tol:cfg.Flow.audit_tol a <> [] then
+            incr violating;
+          worst := Float.max !worst (Em_core.Audit.worst_residual a);
+          if a.Em_core.Audit.au_margin < !min_margin then begin
+            min_margin := a.Em_core.Audit.au_margin;
+            min_idx := a.Em_core.Audit.au_index
+          end
+        | None -> ())
+      r.Flow.audits;
+    Printf.printf
+      "Audit: %d structures, %d residual violations (tol %g), worst residual \
+       %.3g%s\n\n"
+      !audited !violating cfg.Flow.audit_tol !worst
+      (if !min_idx >= 0 then
+         Printf.sprintf ", min margin %+.2f MPa (structure %d)"
+           (U.pa_to_mpa !min_margin) !min_idx
+       else ""));
   (* Ancillary reports run on the healthy subset: a structure the flow
      skipped (degenerate geometry, solver failure) would throw again in
      the per-structure solves below. *)
@@ -468,7 +599,12 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
     List.filter_map
       (fun (d : Dg.t) ->
         match d.Dg.source with
-        | Dg.Structure { index; _ } when d.Dg.severity = Dg.Error -> Some index
+        (* Strict-audit errors flag the numbers but the structure's
+           analysis completed — it stays in the ancillary reports. *)
+        | Dg.Structure { index; _ }
+          when d.Dg.severity = Dg.Error
+               && not (String.equal d.Dg.code "audit-residual") ->
+          Some index
         | _ -> None)
       r.Flow.diags
   in
@@ -587,6 +723,14 @@ let analyze_netlist path tech sigma_t temperature with_maxpath top fix
            ("layers", Emflow.Json_out.of_layer_stats layers);
            ("fix_plan", Emflow.Json_out.of_fixer_plan plan);
          ]
+        @ (match audit_cfg with
+          | Some cfg ->
+            [
+              ( "audit",
+                Emflow.Json_out.of_audit_report ~tol:cfg.Flow.audit_tol
+                  r.Flow.audits );
+            ]
+          | None -> [])
         @ (match variation_result with
           | Some vr -> [ ("variation", Emflow.Json_out.of_variation vr) ]
           | None -> [])
@@ -734,7 +878,8 @@ let analyze_cmd =
         (const (fun path tech sigma_t temperature with_maxpath top fix json
                     html keep_going strict max_errors trace_path metrics_path
                     profile_path profile_rate profile_format engine jobs
-                    variation mc_samples mc_seed
+                    variation mc_samples mc_seed audit audit_tol strict_audit
+                    audit_top solve_buckets
                     log_level log_json flight_dump listen ->
              let finish_log = start_logging ~log_level ~log_json in
              (* The flight recorder is always armed during analyze; its
@@ -750,7 +895,8 @@ let analyze_cmd =
                  analyze_netlist path tech sigma_t temperature with_maxpath
                    top fix json html keep_going strict max_errors trace_path
                    metrics_path profile_path profile_rate profile_format
-                   engine jobs variation mc_samples mc_seed listen
+                   engine jobs variation mc_samples mc_seed audit audit_tol
+                   strict_audit audit_top solve_buckets listen
                with
                | `Ok n ->
                  if n <> 0 then dump_flight ~flight_dump ()
@@ -770,8 +916,9 @@ let analyze_cmd =
         $ fix $ json_path $ html_path $ keep_going $ strict $ max_errors
         $ trace_arg $ metrics_arg $ profile_arg $ profile_rate_arg
         $ profile_format_arg $ engine $ jobs $ variation $ mc_samples
-        $ mc_seed $ log_level_arg $ log_json_arg $ flight_dump_arg
-        $ listen_arg))
+        $ mc_seed $ audit_arg $ audit_tol_arg $ strict_audit_arg
+        $ audit_top_arg $ solve_buckets_arg $ log_level_arg $ log_json_arg
+        $ flight_dump_arg $ listen_arg))
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -787,6 +934,155 @@ let analyze_cmd =
               errors (unparseable netlist without $(b,--keep-going), \
               exhausted $(b,--max-errors) budget, unsupported deck).";
          ])
+    term
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+module Au = Em_core.Audit
+
+(* Audit one netlist and render a single structure's record as tables:
+   the margin/residual summary, then the critical Blech path from the
+   reference to the most stressed node with per-step stress
+   contributions, resolved to netlist node names and element ids. *)
+let explain_netlist path index tech sigma_t temperature audit_tol jobs =
+  let material = material_of ~sigma_t ~temperature in
+  let netlist = Spice.Parser.parse_file path in
+  let sol = Spice.Mna.solve netlist in
+  let compacts = Emflow.Extract.extract_compact ~tech sol in
+  let n = List.length compacts in
+  if index < 0 || index >= n then
+    failwith
+      (Printf.sprintf "structure index %d out of range (deck has %d structures)"
+         index n);
+  let audit =
+    {
+      Flow.default_audit_config with
+      Flow.audit_tol;
+      (* Keep the whole path in [au_top]; the table below bounds it. *)
+      audit_top_k = max_int;
+    }
+  in
+  let r = Flow.run_on_compact ~material ?jobs ~audit compacts in
+  let cs = List.nth compacts index in
+  match r.Flow.audits.(index) with
+  | None ->
+    let why =
+      List.find_opt
+        (fun (d : Dg.t) ->
+          match d.Dg.source with
+          | Dg.Structure { index = i; _ } -> i = index
+          | _ -> false)
+        r.Flow.diags
+    in
+    failwith
+      (Printf.sprintf "structure %d was not audited: %s" index
+         (match why with
+         | Some d -> d.Dg.message
+         | None -> "analysis did not produce a record"))
+  | Some a ->
+    Format.printf "%a@.@." Au.pp a;
+    (match Au.violations ~tol:audit_tol a with
+    | [] -> Printf.printf "No residual violations at tol %g.\n" audit_tol
+    | vs ->
+      Printf.printf "RESIDUAL VIOLATIONS (tol %g):\n" audit_tol;
+      List.iter (fun (name, v) -> Printf.printf "  %s = %.6e\n" name v) vs);
+    let names = cs.Emflow.Extract.cs_node_names in
+    let elements = cs.Emflow.Extract.cs_element_ids in
+    let name_of i = if i < Array.length names then names.(i) else string_of_int i in
+    let element_of k =
+      if k < Array.length elements then
+        Printf.sprintf "R%d (seg %d)" elements.(k) k
+      else string_of_int k
+    in
+    let path_len = Array.length a.Au.au_path in
+    Printf.printf
+      "\nCritical Blech path (%d steps, reference %s -> peak %s):\n" path_len
+      (if path_len > 0 then name_of a.Au.au_path.(0).Au.ct_parent else "-")
+      (name_of a.Au.au_max_node);
+    let table =
+      Rp.create [ "step"; "element"; "from"; "to"; "dstress MPa"; "cum MPa" ]
+    in
+    let cum = ref 0. in
+    Array.iteri
+      (fun i (ct : Au.contribution) ->
+        cum := !cum +. ct.Au.ct_delta;
+        Rp.add_row table
+          [
+            Rp.int_cell i;
+            element_of ct.Au.ct_seg;
+            name_of ct.Au.ct_parent;
+            name_of ct.Au.ct_node;
+            Printf.sprintf "%+.4f" (U.pa_to_mpa ct.Au.ct_delta);
+            Printf.sprintf "%+.4f" (U.pa_to_mpa !cum);
+          ])
+      a.Au.au_path;
+    Rp.print table;
+    let top = a.Au.au_top in
+    if Array.length top > 0 then begin
+      Printf.printf "\nLargest contributions:\n";
+      let table = Rp.create [ "element"; "from"; "to"; "dstress MPa" ] in
+      Array.iteri
+        (fun i (ct : Au.contribution) ->
+          if i < Au.default_top_k then
+            Rp.add_row table
+              [
+                element_of ct.Au.ct_seg;
+                name_of ct.Au.ct_parent;
+                name_of ct.Au.ct_node;
+                Printf.sprintf "%+.4f" (U.pa_to_mpa ct.Au.ct_delta);
+              ])
+        top;
+      Rp.print table
+    end;
+    `Ok 0
+
+let explain_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"NETLIST" ~doc:"SPICE power-grid netlist to analyze.")
+  in
+  let index =
+    Arg.(
+      required
+      & pos 1 (some int) None
+      & info [] ~docv:"IDX"
+          ~doc:
+            "Structure index to explain (the batch position reported by \
+             $(b,analyze) diagnostics, audit records and the JSON report).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for the analysis.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun path index tech sigma_t temperature audit_tol jobs ->
+             match
+               explain_netlist path index tech sigma_t temperature audit_tol
+                 jobs
+             with
+             | r -> r
+             | exception Spice.Parser.Parse_error { line; message } ->
+               `Error (false, Printf.sprintf "%s:%d: %s" path line message)
+             | exception Spice.Mna.Unsupported msg ->
+               `Error (false, "unsupported netlist: " ^ msg)
+             | exception Failure msg -> `Error (false, msg)
+             | exception Invalid_argument msg -> `Error (false, msg))
+        $ path $ index $ tech_arg $ sigma_t_arg $ temperature_arg
+        $ audit_tol_arg $ jobs))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain one structure's immortality verdict: audited margin, \
+          residuals, and the critical Blech path with per-segment stress \
+          contributions")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1068,4 +1364,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ analyze_cmd; stats_cmd; wire_cmd; verify_cmd; material_cmd ]))
+          [
+            analyze_cmd; explain_cmd; stats_cmd; wire_cmd; verify_cmd;
+            material_cmd;
+          ]))

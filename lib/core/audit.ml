@@ -1,0 +1,477 @@
+(* Runtime numerical auditing. See the .mli for the invariant taxonomy
+   (exact / tolerance-gated / informational) and DESIGN §10 for why the
+   exact residuals are compared against literal 0.
+
+   The exact checks re-evaluate the solver's own floating-point
+   expressions — the Schedule replay for the Blech sums, the fixed-order
+   segment sweep for A/Q, and [beta *. (q_over_a -. b_i)] for the
+   stresses — against the returned solution. Every production path
+   (boxed, columnar, BFS-reordered, intra-structure parallel) is
+   bit-identical by contract, so any nonzero exact residual is a broken
+   solver path, not rounding. *)
+
+module Ss = Steady_state
+module Cc = Compact
+
+type provenance = {
+  engine : string;
+  solver : string;
+  jobs : int;
+  ws_shared : bool;
+}
+
+type contribution = {
+  ct_seg : int;
+  ct_parent : int;
+  ct_node : int;
+  ct_delta : float;
+}
+
+type residuals = {
+  blech_replay : float;
+  norm_recompute : float;
+  stress_telescope : float;
+  flux_rel : float;
+  mass_rel : float;
+  kcl_interior_rel : float;
+}
+
+type t = {
+  au_index : int;
+  au_layer : int;
+  au_nodes : int;
+  au_segments : int;
+  au_threshold : float;
+  au_max_stress : float;
+  au_max_node : int;
+  au_margin : float;
+  au_rel_margin : float;
+  au_immortal : bool;
+  au_residuals : residuals;
+  au_path : contribution array;
+  au_top : contribution array;
+  au_provenance : provenance;
+}
+
+let default_tol = 1e-9
+
+let default_top_k = 5
+
+(* Guard against 0/0 without disturbing exact zeros: a residual of 0
+   divided by any positive scale stays 0. *)
+let tiny = 1e-300
+
+let rel diff scale = Float.abs diff /. Float.max scale tiny
+
+let max_abs a =
+  Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+
+(* ------------------------------------------------------------------ *)
+(* The checks                                                          *)
+
+(* Replay the recorded BFS over the geometry columns and compare with
+   the solution's Blech sums. [sign *. j *. l] groups as
+   [(sign *. j) *. l], which is the solver's [jhat *. l] branch
+   bit-for-bit ([1. *. x = x], [-1. *. x = -.x] exactly). *)
+let blech_replay_residual (sched : Ss.Schedule.t) (c : Cc.t) b =
+  let n = Cc.num_nodes c in
+  let lengths = c.Cc.length and js = c.Cc.j in
+  let replayed = Array.make n 0. in
+  replayed.(sched.Ss.Schedule.reference) <- 0.;
+  let node = sched.Ss.Schedule.node and parent = sched.Ss.Schedule.parent in
+  let edge = sched.Ss.Schedule.edge and sign = sched.Ss.Schedule.sign in
+  for i = 0 to Array.length node - 1 do
+    let e = edge.(i) in
+    replayed.(node.(i)) <-
+      replayed.(parent.(i)) +. (sign.(i) *. js.(e) *. lengths.(e))
+  done;
+  let worst = ref 0. in
+  for v = 0 to n - 1 do
+    worst := Float.max !worst (Float.abs (replayed.(v) -. b.(v)))
+  done;
+  rel !worst (max_abs b)
+
+(* Recompute A and Q with the solver's exact sweep (segment order,
+   expression shape) from the solution's Blech sums. Bit-equal inputs
+   and operations give bit-equal sums on every solver path: the
+   reordered solve preserves segment order and gathers bit-equal [b]
+   values back to original ids. *)
+let norm_residual (c : Cc.t) (sol : Ss.solution) =
+  let m = Cc.num_segments c in
+  let whs = c.Cc.wh and lengths = c.Cc.length and js = c.Cc.j in
+  let tails = c.Cc.tail and b = sol.Ss.blech_sum in
+  let volume = ref 0. and q = ref 0. in
+  for k = 0 to m - 1 do
+    let wh = whs.(k) in
+    let l = lengths.(k) in
+    let j = js.(k) in
+    volume := !volume +. (wh *. l);
+    q := !q +. (wh *. ((j *. l *. l /. 2.) +. (b.(tails.(k)) *. l)))
+  done;
+  let scale = Float.max (Float.abs sol.Ss.volume) (Float.abs sol.Ss.q) in
+  Float.max
+    (rel (!volume -. sol.Ss.volume) scale)
+    (rel (!q -. sol.Ss.q) scale)
+
+(* Re-evaluate every stress from the solution's own B/Q/A/beta. *)
+let telescope_residual (sol : Ss.solution) =
+  let q_over_a = sol.Ss.q /. sol.Ss.volume in
+  let beta = sol.Ss.beta in
+  let b = sol.Ss.blech_sum and stress = sol.Ss.node_stress in
+  let worst = ref 0. in
+  for v = 0 to Array.length stress - 1 do
+    worst :=
+      Float.max !worst
+        (Float.abs ((beta *. (q_over_a -. b.(v))) -. stress.(v)))
+  done;
+  rel !worst (max_abs stress)
+
+(* Lemma 1 per segment: sigma(x) = sigma_tail - beta j x, so
+   sigma_head - sigma_tail + beta j l = 0 — up to rounding on tree
+   segments, and up to the cycle consistency of the currents on mesh
+   chords. Worst relative residual over the segments. *)
+let flux_residual (c : Cc.t) (sol : Ss.solution) =
+  let m = Cc.num_segments c in
+  let beta = sol.Ss.beta in
+  let stress = sol.Ss.node_stress in
+  let worst = ref 0. in
+  for k = 0 to m - 1 do
+    let st = stress.(c.Cc.tail.(k)) and sh = stress.(c.Cc.head.(k)) in
+    let drop = beta *. c.Cc.j.(k) *. c.Cc.length.(k) in
+    let scale =
+      Float.max (Float.abs drop) (Float.max (Float.abs st) (Float.abs sh))
+    in
+    worst := Float.max !worst (rel (sh -. st +. drop) scale)
+  done;
+  !worst
+
+(* Lemma 3: integral of sigma over the structure is 0. Trapezoid per
+   segment (exact — sigma is linear in x), normalized like
+   [Steady_state.mass_residual]. *)
+let mass_residual (c : Cc.t) (sol : Ss.solution) =
+  let m = Cc.num_segments c in
+  let stress = sol.Ss.node_stress in
+  let acc = ref 0. and sigma_scale = ref 0. in
+  for k = 0 to m - 1 do
+    let st = stress.(c.Cc.tail.(k)) and sh = stress.(c.Cc.head.(k)) in
+    acc := !acc +. (c.Cc.wh.(k) *. c.Cc.length.(k) *. (st +. sh) /. 2.);
+    sigma_scale :=
+      Float.max !sigma_scale (Float.max (Float.abs st) (Float.abs sh))
+  done;
+  rel !acc (Float.abs sol.Ss.volume *. Float.max !sigma_scale tiny)
+
+(* Per-node current balance from the CSR: sum of signed currents
+   [I = j * wh] over the incident slots. Only interior (degree >= 2)
+   nodes are scanned, and even they legitimately carry via taps on a
+   power grid — informational, never gated. *)
+let kcl_residual (c : Cc.t) =
+  let n = Cc.num_nodes c in
+  let offsets = c.Cc.offsets in
+  let worst = ref 0. in
+  for v = 0 to n - 1 do
+    let lo = offsets.(v) and hi = offsets.(v + 1) in
+    if hi - lo >= 2 then begin
+      let acc = ref 0. and scale = ref 0. in
+      for slot = lo to hi - 1 do
+        let e = c.Cc.adj_edge.(slot) in
+        let flow = c.Cc.j.(e) *. c.Cc.wh.(e) in
+        let signed = if c.Cc.tail.(e) = v then flow else -.flow in
+        acc := !acc +. signed;
+        scale := Float.max !scale (Float.abs flow)
+      done;
+      worst := Float.max !worst (rel !acc !scale)
+    end
+  done;
+  !worst
+
+(* The critical Blech path: tree path from the reference to the most
+   stressed node. Each step's contribution to the peak is
+   sigma(child) - sigma(parent) = -beta * (b_child - b_parent)
+                                = -beta * sign * j * l. *)
+let critical_path (sched : Ss.Schedule.t) (c : Cc.t) ~beta ~max_node =
+  let n = Cc.num_nodes c in
+  let pnode = Array.make n (-1) in
+  let pedge = Array.make n (-1) in
+  let psign = Array.make n 0. in
+  let node = sched.Ss.Schedule.node and parent = sched.Ss.Schedule.parent in
+  let edge = sched.Ss.Schedule.edge and sign = sched.Ss.Schedule.sign in
+  for i = 0 to Array.length node - 1 do
+    pnode.(node.(i)) <- parent.(i);
+    pedge.(node.(i)) <- edge.(i);
+    psign.(node.(i)) <- sign.(i)
+  done;
+  let steps = ref [] in
+  let v = ref max_node in
+  while !v <> sched.Ss.Schedule.reference do
+    let e = pedge.(!v) in
+    steps :=
+      {
+        ct_seg = e;
+        ct_parent = pnode.(!v);
+        ct_node = !v;
+        ct_delta = -.beta *. psign.(!v) *. c.Cc.j.(e) *. c.Cc.length.(e);
+      }
+      :: !steps;
+    v := pnode.(!v)
+  done;
+  Array.of_list !steps
+
+let top_contributions path k =
+  let sorted = Array.copy path in
+  Array.sort
+    (fun a b ->
+      match Float.compare (Float.abs b.ct_delta) (Float.abs a.ct_delta) with
+      | 0 -> compare a.ct_seg b.ct_seg
+      | c -> c)
+    sorted;
+  Array.sub sorted 0 (min k (Array.length sorted))
+
+let check ?(index = -1) ?(layer = -1) ?(top_k = default_top_k) ~provenance
+    material (c : Cc.t) (sol : Ss.solution) =
+  if top_k < 0 then invalid_arg "Audit.check: top_k < 0";
+  let sched = Ss.Schedule.make ~reference:sol.Ss.reference c in
+  let residuals =
+    {
+      blech_replay = blech_replay_residual sched c sol.Ss.blech_sum;
+      norm_recompute = norm_residual c sol;
+      stress_telescope = telescope_residual sol;
+      flux_rel = flux_residual c sol;
+      mass_rel = mass_residual c sol;
+      kcl_interior_rel = kcl_residual c;
+    }
+  in
+  let threshold = Material.effective_critical_stress material in
+  let max_stress, max_node = Ss.max_stress sol in
+  let margin = threshold -. max_stress in
+  let path =
+    critical_path sched c ~beta:sol.Ss.beta ~max_node
+  in
+  {
+    au_index = index;
+    au_layer = layer;
+    au_nodes = Cc.num_nodes c;
+    au_segments = Cc.num_segments c;
+    au_threshold = threshold;
+    au_max_stress = max_stress;
+    au_max_node = max_node;
+    au_margin = margin;
+    au_rel_margin = margin /. Float.max (Float.abs threshold) tiny;
+    au_immortal = max_stress < threshold;
+    au_residuals = residuals;
+    au_path = path;
+    au_top = top_contributions path top_k;
+    au_provenance = provenance;
+  }
+
+let exact_residual t =
+  Float.max t.au_residuals.blech_replay
+    (Float.max t.au_residuals.norm_recompute t.au_residuals.stress_telescope)
+
+let worst_residual t =
+  Float.max (exact_residual t)
+    (Float.max t.au_residuals.flux_rel t.au_residuals.mass_rel)
+
+(* NaN-proof gate: [not (r <= bound)] trips on NaN residuals too, so a
+   poisoned solution cannot audit clean. *)
+let violations ~tol t =
+  let r = t.au_residuals in
+  let out = ref [] in
+  let gate name v bound = if not (v <= bound) then out := (name, v) :: !out in
+  gate "mass" r.mass_rel tol;
+  gate "flux" r.flux_rel tol;
+  gate "stress-telescope" r.stress_telescope 0.;
+  gate "normalization" r.norm_recompute 0.;
+  gate "blech-replay" r.blech_replay 0.;
+  !out
+
+let violation_diag ~strict ~tol t =
+  match violations ~tol t with
+  | [] -> None
+  | vs ->
+    let detail =
+      String.concat ", "
+        (List.map (fun (name, v) -> Printf.sprintf "%s=%.3e" name v) vs)
+    in
+    let severity = if strict then Diag.Error else Diag.Warning in
+    Some
+      (Diag.make severity
+         ~source:(Diag.Structure { index = t.au_index; layer = t.au_layer })
+         ~code:"audit-residual"
+         (Printf.sprintf
+            "numerical audit residual out of bounds (tol %.1e): %s" tol detail))
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+(* Residuals live on a log scale pinned at exact 0 (first bucket);
+   margins are relative slack, signed — negative buckets hold the
+   mortal side. *)
+let residual_buckets = [| 1e-18; 1e-15; 1e-12; 1e-9; 1e-6; 1e-3; 1. |]
+
+let margin_buckets =
+  [| -1.; -0.5; -0.2; -0.1; -0.05; 0.; 0.05; 0.1; 0.2; 0.5; 1. |]
+
+let residual_hist =
+  Obs.Metrics.histogram ~buckets:residual_buckets
+    ~help:"Worst relative audit residual per audited structure"
+    "em_audit_residual"
+
+let margin_hist =
+  Obs.Metrics.histogram ~buckets:margin_buckets
+    ~help:
+      "Relative immortality margin (sigma_th - max sigma)/sigma_th per \
+       audited structure"
+    "em_margin_slack"
+
+let g_worst_residual =
+  Obs.Metrics.gauge
+    ~help:"Largest relative audit residual seen in the current run"
+    "em_audit_worst_residual"
+
+let g_min_margin =
+  Obs.Metrics.gauge
+    ~help:"Smallest immortality margin seen in the current run (Pa)"
+    "em_margin_min_pa"
+
+let audited_total =
+  Obs.Metrics.counter ~help:"Structures numerically audited"
+    "em_structures_audited_total"
+
+let violations_total =
+  Obs.Metrics.counter
+    ~help:"Audited structures with at least one residual out of bounds"
+    "em_audit_violations_total"
+
+module Live = struct
+  type snapshot = {
+    ls_tol : float;
+    ls_audited : int;
+    ls_violations : int;
+    ls_worst_residual : float;
+    ls_worst_residual_index : int;
+    ls_min_margin : float;
+    ls_min_rel_margin : float;
+    ls_min_margin_index : int;
+  }
+
+  let mu = Mutex.create ()
+
+  let state =
+    ref
+      {
+        ls_tol = default_tol;
+        ls_audited = 0;
+        ls_violations = 0;
+        ls_worst_residual = 0.;
+        ls_worst_residual_index = -1;
+        ls_min_margin = infinity;
+        ls_min_rel_margin = infinity;
+        ls_min_margin_index = -1;
+      }
+
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+  let reset ~tol =
+    locked (fun () ->
+        state :=
+          {
+            ls_tol = tol;
+            ls_audited = 0;
+            ls_violations = 0;
+            ls_worst_residual = 0.;
+            ls_worst_residual_index = -1;
+            ls_min_margin = infinity;
+            ls_min_rel_margin = infinity;
+            ls_min_margin_index = -1;
+          })
+
+  let record ~violated t =
+    let w = worst_residual t in
+    locked (fun () ->
+        let s = !state in
+        let s = { s with ls_audited = s.ls_audited + 1 } in
+        let s =
+          if violated then { s with ls_violations = s.ls_violations + 1 }
+          else s
+        in
+        let s =
+          (* [>=] with a NaN worst is false; promote NaN explicitly so a
+             poisoned audit is impossible to miss in the live view. *)
+          if w > s.ls_worst_residual || Float.is_nan w then
+            {
+              s with
+              ls_worst_residual = w;
+              ls_worst_residual_index = t.au_index;
+            }
+          else s
+        in
+        let s =
+          if t.au_margin < s.ls_min_margin then
+            {
+              s with
+              ls_min_margin = t.au_margin;
+              ls_min_rel_margin = t.au_rel_margin;
+              ls_min_margin_index = t.au_index;
+            }
+          else s
+        in
+        state := s;
+        s)
+
+  let snapshot () = locked (fun () -> !state)
+
+  let to_json () =
+    let s = snapshot () in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "{\"enabled\":true,\"tol\":";
+    Obs.Jsonx.add_float buf s.ls_tol;
+    Buffer.add_string buf ",\"structures_audited\":";
+    Buffer.add_string buf (string_of_int s.ls_audited);
+    Buffer.add_string buf ",\"violations\":";
+    Buffer.add_string buf (string_of_int s.ls_violations);
+    Buffer.add_string buf ",\"worst_residual\":";
+    Obs.Jsonx.add_float buf s.ls_worst_residual;
+    Buffer.add_string buf ",\"worst_residual_structure\":";
+    Buffer.add_string buf (string_of_int s.ls_worst_residual_index);
+    Buffer.add_string buf ",\"min_margin_pa\":";
+    Obs.Jsonx.add_float buf s.ls_min_margin;
+    Buffer.add_string buf ",\"min_margin_rel\":";
+    Obs.Jsonx.add_float buf s.ls_min_rel_margin;
+    Buffer.add_string buf ",\"min_margin_structure\":";
+    Buffer.add_string buf (string_of_int s.ls_min_margin_index);
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+end
+
+let publish ~tol t =
+  let violated = violations ~tol t <> [] in
+  let agg = Live.record ~violated t in
+  Obs.Metrics.inc audited_total;
+  if violated then Obs.Metrics.inc violations_total;
+  Obs.Metrics.observe residual_hist (worst_residual t);
+  Obs.Metrics.observe margin_hist t.au_rel_margin;
+  Obs.Metrics.set_gauge g_worst_residual agg.Live.ls_worst_residual;
+  Obs.Metrics.set_gauge g_min_margin agg.Live.ls_min_margin
+
+let pp ppf t =
+  let r = t.au_residuals in
+  Format.fprintf ppf
+    "@[<v>structure %d (M%d): %d nodes, %d segments — %s@,\
+     max stress %.3f MPa at node %d, threshold %.3f MPa, margin %+.3f MPa \
+     (%.2f%%)@,\
+     residuals: blech-replay %.3e, normalization %.3e, telescope %.3e \
+     (exact); flux %.3e, mass %.3e (tol); kcl %.3e (info)@,\
+     solver: %s/%s, jobs %d%s@]"
+    t.au_index t.au_layer t.au_nodes t.au_segments
+    (if t.au_immortal then "immortal" else "MORTAL")
+    (t.au_max_stress *. 1e-6)
+    t.au_max_node
+    (t.au_threshold *. 1e-6)
+    (t.au_margin *. 1e-6)
+    (100. *. t.au_rel_margin)
+    r.blech_replay r.norm_recompute r.stress_telescope r.flux_rel r.mass_rel
+    r.kcl_interior_rel t.au_provenance.engine t.au_provenance.solver
+    t.au_provenance.jobs
+    (if t.au_provenance.ws_shared then " (shared workspace)" else "")

@@ -1,0 +1,163 @@
+(** Runtime numerical auditing of steady-state solutions.
+
+    The solver's invariants are exact, not approximate: the Blech sums
+    are a deterministic replay of the BFS {!Steady_state.Schedule}, the
+    normalization constants [A]/[Q] are one fixed-order sweep over the
+    segment columns, and every node stress is
+    [beta * (Q/A - B_i)]. Because every production solver path (boxed,
+    columnar, cache-reordered, intra-structure parallel) is bit-identical
+    by contract, an audit that re-evaluates those same floating-point
+    expressions against the returned solution must reproduce it {e to
+    the bit} — the exact residuals below are [0.0], not merely small,
+    on a healthy run, and any nonzero value means a solver path broke
+    the contract (or memory was corrupted in flight).
+
+    On top of the exact invariants the audit evaluates the physical
+    conservation laws, which hold only up to rounding (and, for meshes,
+    up to the cycle consistency of the prescribed currents): per-segment
+    flux balance [sigma_head - sigma_tail + beta j l = 0] (Lemma 1),
+    the mass-conservation integral (Lemma 3), and per-node current
+    balance from the CSR. These are tolerance-gated; the KCL balance is
+    informational only, because on a real power grid interior nodes
+    legitimately carry via currents out of the structure's plane.
+
+    Each audit record also carries the immortality {e margin} (signed
+    slack [sigma_th - max sigma], absolute and relative) with a per-
+    segment attribution of the critical Blech path — the tree path from
+    the reference to the most stressed node, each step contributing
+    [-beta * sign * j * l] to the peak stress — so every verdict can be
+    explained and ranked, and solver-path provenance naming which
+    engine/route produced the solution. *)
+
+(** How the audited solution was produced. *)
+type provenance = {
+  engine : string;  (** extraction engine: ["fused"] / ["boxed"] *)
+  solver : string;
+      (** solve route: ["compact"], ["reordered"] or ["reordered+par"] *)
+  jobs : int;       (** intra-structure domains (1 = sequential) *)
+  ws_shared : bool;
+      (** the solution aliases a reused {!Steady_state.Workspace} *)
+}
+
+(** One step of the critical Blech path, in root-to-peak order. *)
+type contribution = {
+  ct_seg : int;     (** segment id within the structure *)
+  ct_parent : int;  (** node the step starts from *)
+  ct_node : int;    (** node the step discovers *)
+  ct_delta : float;
+      (** [sigma(ct_node) - sigma(ct_parent) = -beta * sign * j * l], Pa *)
+}
+
+type residuals = {
+  blech_replay : float;
+      (** exact: max relative deviation of the schedule-replayed Blech
+          sums from the solution's; [0.0] on every bit-identical path *)
+  norm_recompute : float;
+      (** exact: relative deviation of the recomputed [A] and [Q] *)
+  stress_telescope : float;
+      (** exact: max relative deviation of
+          [beta * (Q/A - B_i)] from [node_stress.(i)] *)
+  flux_rel : float;
+      (** tolerance-gated: worst per-segment relative flux residual
+          [|sigma_head - sigma_tail + beta j l|]; on mesh chords this
+          measures cycle consistency of the prescribed currents *)
+  mass_rel : float;
+      (** tolerance-gated: Lemma 3 conservation integral, normalized by
+          [A * max |sigma|] *)
+  kcl_interior_rel : float;
+      (** informational: worst relative current imbalance over interior
+          (degree >= 2) nodes; nonzero wherever vias tap the structure *)
+}
+
+type t = {
+  au_index : int;        (** structure position in the analyzed batch *)
+  au_layer : int;        (** metal level *)
+  au_nodes : int;
+  au_segments : int;
+  au_threshold : float;  (** effective critical stress, Pa *)
+  au_max_stress : float; (** Pa *)
+  au_max_node : int;
+  au_margin : float;     (** [threshold - max_stress], positive iff immortal *)
+  au_rel_margin : float; (** [margin / threshold] *)
+  au_immortal : bool;
+  au_residuals : residuals;
+  au_path : contribution array;
+      (** the whole critical path, reference to [au_max_node] *)
+  au_top : contribution array;
+      (** top-k path steps by [|ct_delta|] (largest first) *)
+  au_provenance : provenance;
+}
+
+val default_tol : float
+(** [1e-9]: relative gate for [flux_rel] / [mass_rel]. The exact
+    residuals are always gated at exactly [0.0]. *)
+
+val default_top_k : int
+(** [5]. *)
+
+val check :
+  ?index:int ->
+  ?layer:int ->
+  ?top_k:int ->
+  provenance:provenance ->
+  Material.t ->
+  Compact.t ->
+  Steady_state.solution ->
+  t
+(** Audit one solution against the structure it was solved from. Reads
+    the solution's arrays but never writes them; safe to call while they
+    alias a workspace, as long as it runs before the next solve. Raises
+    [Invalid_argument] if the structure is disconnected (no schedule)
+    and treats non-finite stresses like the flow does — they surface as
+    large residuals, never as exceptions. *)
+
+val exact_residual : t -> float
+(** Max of the three exact residuals; [0.0] on a healthy run. *)
+
+val worst_residual : t -> float
+(** Max of {!exact_residual} and the tolerance-gated residuals — the
+    value aggregated into the [em_audit_residual] histogram. *)
+
+val violations : tol:float -> t -> (string * float) list
+(** Residuals out of bounds: any exact residual above [0.0], and
+    [flux_rel] / [mass_rel] above [tol]. The KCL balance never appears
+    here (informational). Empty on a healthy structure. *)
+
+val violation_diag : strict:bool -> tol:float -> t -> Diag.t option
+(** A [Structure]-sourced diagnostic (code ["audit-residual"]) naming
+    the out-of-bounds residuals — a warning, or an error when
+    [strict]. [None] when {!violations} is empty. *)
+
+val publish : tol:float -> t -> unit
+(** Aggregate one record into the shared observability state: the
+    [em_audit_residual] / [em_margin_slack] histograms, the worst-case
+    gauges, the audit counters, and the {!Live} aggregate behind
+    [GET /audit]. Metric updates are no-ops while {!Obs.Metrics} is
+    disabled; the {!Live} aggregate always updates. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Mutex-protected run-wide aggregate feeding the live [/audit]
+    endpoint: every {!publish} folds its record in, and a snapshot is
+    consistent at any instant mid-run. *)
+module Live : sig
+  type snapshot = {
+    ls_tol : float;
+    ls_audited : int;
+    ls_violations : int;        (** structures with a nonempty violation set *)
+    ls_worst_residual : float;  (** max {!worst_residual} seen *)
+    ls_worst_residual_index : int;  (** [-1] until something was audited *)
+    ls_min_margin : float;      (** Pa; [infinity] until audited *)
+    ls_min_rel_margin : float;
+    ls_min_margin_index : int;
+  }
+
+  val reset : tol:float -> unit
+  (** Start a fresh aggregate for a run gated at [tol]. *)
+
+  val snapshot : unit -> snapshot
+
+  val to_json : unit -> string
+  (** The snapshot as a JSON object (["enabled": true]); the document
+      served by [GET /audit] when auditing is on. *)
+end

@@ -77,6 +77,7 @@ let obs_metrics doc =
     [
       "off_s"; "metrics_on_ratio"; "trace_on_ratio";
       "profile_off_ratio"; "profile_on_ratio"; "serve_scrape_ratio";
+      "audit_overhead_ratio"; "audit_disabled_ratio";
       "profile_snapshot_ns";
       "disabled_counter_inc_ns"; "disabled_span_ns";
       "estimated_disabled_overhead_pct";

@@ -3,6 +3,7 @@ module Ss = Em_core.Steady_state
 module Cc = Em_core.Compact
 module Cl = Em_core.Classify
 module Dg = Em_core.Diag
+module Au = Em_core.Audit
 module Maxpath = Em_core.Baseline_maxpath
 
 type segment_record = {
@@ -23,13 +24,21 @@ type result = {
   num_structures : int;
   num_segments : int;
   diags : Dg.t list;
+  audits : Au.t option array;
   solve_time : float;
   extract_time : float;
   analysis_time : float;
   stages : Pipeline.stage list;
 }
 
-let failed_structures r = Dg.count_errors r.diags
+(* Audit-residual diagnostics can be errors under a strict audit, but
+   the structure's analysis still completed — only analysis-skip errors
+   count as failed. *)
+let is_skip_error (d : Dg.t) =
+  d.Dg.severity = Dg.Error && not (String.equal d.Dg.code "audit-residual")
+
+let failed_structures r =
+  List.length (List.filter is_skip_error r.diags)
 
 (* Flow-level telemetry handles. All updates sit behind the global
    enabled flags (one atomic load + branch each when off). *)
@@ -51,10 +60,53 @@ let segments_classified verdict =
 let segments_immortal = segments_classified "immortal"
 let segments_mortal = segments_classified "mortal"
 
-let structure_solve_seconds =
-  Obs.Metrics.histogram
-    ~help:"Per-structure analysis latency (solve + segment verdicts)"
-    "em_structure_solve_seconds"
+(* Per-structure solve latencies sit well below the generic latency
+   ladder's first bound (a compact solve of a few hundred segments runs
+   in hundreds of nanoseconds), so the default buckets start sub-
+   microsecond. The ladder is configurable, but only before the first
+   observation: registration in the default registry is keyed on the
+   metric name, so the first creation freezes the bounds for the
+   process — hence the lazy handle instead of a module-init one. *)
+let default_solve_seconds_buckets =
+  [| 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1. |]
+
+let solve_seconds_buckets = ref default_solve_seconds_buckets
+
+let solve_seconds_handle : Obs.Metrics.histogram option ref = ref None
+
+let set_solve_seconds_buckets buckets =
+  if Array.length buckets = 0 then
+    invalid_arg "Em_flow.set_solve_seconds_buckets: empty bucket ladder";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Em_flow.set_solve_seconds_buckets: non-finite bound";
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg
+          "Em_flow.set_solve_seconds_buckets: bounds must be strictly \
+           increasing")
+    buckets;
+  (match !solve_seconds_handle with
+  | Some _ ->
+    invalid_arg
+      "Em_flow.set_solve_seconds_buckets: the em_structure_solve_seconds \
+       histogram already exists; set the buckets before the first analysis"
+  | None -> ());
+  solve_seconds_buckets := Array.copy buckets
+
+let structure_solve_seconds () =
+  match !solve_seconds_handle with
+  | Some h -> h
+  | None ->
+    (* Registration is idempotent on the name, so a racing first call
+       from two domains lands on the same handle. *)
+    let h =
+      Obs.Metrics.histogram ~buckets:!solve_seconds_buckets
+        ~help:"Per-structure analysis latency (solve + segment verdicts)"
+        "em_structure_solve_seconds"
+    in
+    solve_seconds_handle := Some h;
+    h
 
 let gc_gauge which =
   Obs.Metrics.gauge
@@ -75,6 +127,23 @@ type tuning = { huge_segments : int; reorder_nodes : int }
 
 let default_tuning = { huge_segments = 100_000; reorder_nodes = 16_384 }
 
+(* Numerical-audit configuration ([None] = auditing off, the default:
+   the per-structure cost is then one [Option] branch). *)
+type audit_config = {
+  audit_tol : float;
+  audit_top_k : int;
+  audit_strict : bool;
+  audit_engine : string;
+}
+
+let default_audit_config =
+  {
+    audit_tol = Au.default_tol;
+    audit_top_k = Au.default_top_k;
+    audit_strict = false;
+    audit_engine = "fused";
+  }
+
 (* Per-structure analysis on the columnar representation: one
    [solve_compact] through the worker's workspace, then the Blech filter
    and the exact endpoint test read the flat columns directly. The
@@ -86,15 +155,42 @@ let default_tuning = { huge_segments = 100_000; reorder_nodes = 16_384 }
    with [par_jobs > 1], the intra-structure parallel one); both are
    bit-identical to the plain [solve_compact] and return results in
    original node ids, so the verdicts cannot depend on which path ran. *)
-let analyze_one material with_maxpath ~tuning ~par_jobs ws
+let analyze_one material with_maxpath ~tuning ~par_jobs ~audit ~index ws
     (cs : Extract.compact_structure) =
   let c = cs.Extract.compact in
+  let solver, ws_shared =
+    if par_jobs > 1 then ("reordered+par", false)
+    else if Cc.num_nodes c >= tuning.reorder_nodes then ("reordered", false)
+    else ("compact", true)
+  in
   let sol =
     if par_jobs > 1 then
       Ss.solve_compact_reordered ~ws ~jobs:par_jobs material c
     else if Cc.num_nodes c >= tuning.reorder_nodes then
       Ss.solve_compact_reordered ~ws material c
     else Ss.solve_compact ~ws material c
+  in
+  (* The audit must run before the finiteness scan can throw and, more
+     importantly, before the next solve through the same workspace
+     overwrites the aliased solution arrays. *)
+  let audit_record =
+    match audit with
+    | None -> None
+    | Some cfg ->
+      let provenance =
+        {
+          Au.engine = cfg.audit_engine;
+          solver;
+          jobs = par_jobs;
+          ws_shared;
+        }
+      in
+      let a =
+        Au.check ~index ~layer:cs.Extract.cs_layer_level
+          ~top_k:cfg.audit_top_k ~provenance material c sol
+      in
+      Au.publish ~tol:cfg.audit_tol a;
+      Some a
   in
   let threshold = M.effective_critical_stress material in
   let jl_crit = M.jl_crit material in
@@ -114,32 +210,37 @@ let analyze_one material with_maxpath ~tuning ~par_jobs ws
     if with_maxpath then Maxpath.segment_immortal material (Cc.to_structure c)
     else [||]
   in
-  Array.init (Cc.num_segments c) (fun k ->
-      let l = c.Cc.length.(k) in
-      let j = c.Cc.j.(k) in
-      let tail = c.Cc.tail.(k) and head = c.Cc.head.(k) in
-      let exact = node_immortal tail && node_immortal head in
-      {
-        layer = cs.Extract.cs_layer_level;
-        length = l;
-        j;
-        stress_tail = stress.(tail);
-        stress_head = stress.(head);
-        blech_immortal = Float.abs j *. l <= jl_crit;
-        exact_immortal = exact;
-        maxpath_immortal = (if with_maxpath then maxpath.(k) else exact);
-      })
+  let records =
+    Array.init (Cc.num_segments c) (fun k ->
+        let l = c.Cc.length.(k) in
+        let j = c.Cc.j.(k) in
+        let tail = c.Cc.tail.(k) and head = c.Cc.head.(k) in
+        let exact = node_immortal tail && node_immortal head in
+        {
+          layer = cs.Extract.cs_layer_level;
+          length = l;
+          j;
+          stress_tail = stress.(tail);
+          stress_head = stress.(head);
+          blech_immortal = Float.abs j *. l <= jl_crit;
+          exact_immortal = exact;
+          maxpath_immortal = (if with_maxpath then maxpath.(k) else exact);
+        })
+  in
+  (records, audit_record)
 
 (* Telemetry wrapper around [analyze_one]: the whole per-structure unit
    of work becomes a "structure" span on the worker's track (nested under
    its "parallel.chunk" span) and one observation in the latency
    histogram. The trace branch is guarded explicitly so the attrs list
    is never allocated when tracing is off. *)
-let analyze_traced material with_maxpath ~tuning ~par_jobs ws index
+let analyze_traced material with_maxpath ~tuning ~par_jobs ~audit ws index
     (cs : Extract.compact_structure) =
   let run () =
-    Obs.Metrics.time structure_solve_seconds (fun () ->
-        analyze_one material with_maxpath ~tuning ~par_jobs ws cs)
+    Obs.Metrics.time
+      (structure_solve_seconds ())
+      (fun () ->
+        analyze_one material with_maxpath ~tuning ~par_jobs ~audit ~index ws cs)
   in
   let traced () =
     if Obs.Trace.enabled () then
@@ -198,12 +299,18 @@ let diag_of_failure i (cs : Extract.compact_structure) e =
    into [p]. [analysis_time] keeps the historical convention: wall time
    when explicitly parallel (CPU time would double-count the workers),
    CPU time otherwise. *)
-let finish_run p ~material ~with_maxpath ~tuning ?jobs compacts =
+let finish_run p ~material ~with_maxpath ~tuning ?jobs ?audit compacts =
   let t0 = Sys.time () in
   let wall0 = Unix.gettimeofday () in
   let compacts_arr = Array.of_list compacts in
   let nstruct = Array.length compacts_arr in
   Obs.Runtime.set_structures_total nstruct;
+  (* Create the latency histogram on the main domain before the workers
+     race to, and start a fresh live audit aggregate for the run. *)
+  ignore (structure_solve_seconds () : Obs.Metrics.histogram);
+  (match audit with
+  | Some cfg -> Au.Live.reset ~tol:cfg.audit_tol
+  | None -> ());
   let jobs_resolved = match jobs with Some j -> max 1 j | None -> 1 in
   let is_huge i =
     jobs_resolved > 1
@@ -234,7 +341,7 @@ let finish_run p ~material ~with_maxpath ~tuning ?jobs compacts =
             out.(i) <-
               (match
                  analyze_traced material with_maxpath ~tuning
-                   ~par_jobs:jobs_resolved (Lazy.force ws_huge) i
+                   ~par_jobs:jobs_resolved ~audit (Lazy.force ws_huge) i
                    compacts_arr.(i)
                with
               | v -> Ok v
@@ -244,19 +351,22 @@ let finish_run p ~material ~with_maxpath ~tuning ?jobs compacts =
           Numerics.Parallel.map_local_result ?jobs
             ~local:(fun () -> Ss.Workspace.create ())
             (fun ws i ->
-              analyze_traced material with_maxpath ~tuning ~par_jobs:1 ws i
-                compacts_arr.(i))
+              analyze_traced material with_maxpath ~tuning ~par_jobs:1 ~audit ws
+                i compacts_arr.(i))
             small
         in
         Array.iteri (fun k i -> out.(i) <- small_slots.(k)) small;
         out)
   in
   let diags = ref [] in
+  let audits = Array.make nstruct None in
   let per_structure =
     Array.mapi
       (fun i slot ->
         match slot with
-        | Ok records -> records
+        | Ok (records, audit_record) ->
+          audits.(i) <- audit_record;
+          records
         | Error (e, _bt) ->
           Obs.Metrics.inc structures_failed;
           let d = diag_of_failure i compacts_arr.(i) e in
@@ -272,6 +382,22 @@ let finish_run p ~material ~with_maxpath ~tuning ?jobs compacts =
           [||])
       slots
   in
+  (* Audit residuals out of tolerance become diagnostics of their own —
+     warnings normally, errors under a strict audit — in structure
+     order, after the fault-isolation errors. *)
+  (match audit with
+  | Some cfg ->
+    Array.iter
+      (function
+        | Some a -> (
+          match
+            Au.violation_diag ~strict:cfg.audit_strict ~tol:cfg.audit_tol a
+          with
+          | Some d -> diags := d :: !diags
+          | None -> ())
+        | None -> ())
+      audits
+  | None -> ());
   let diags = List.rev !diags in
   let counts, maxpath_counts, segments =
     Pipeline.run p "classify" (fun () ->
@@ -300,7 +426,7 @@ let finish_run p ~material ~with_maxpath ~tuning ?jobs compacts =
     | Some j when j > 1 -> Unix.gettimeofday () -. wall0
     | _ -> Sys.time () -. t0
   in
-  (counts, maxpath_counts, segments, analysis_time, diags)
+  (counts, maxpath_counts, segments, analysis_time, diags, audits)
 
 let stage_cpu p name =
   List.fold_left
@@ -309,7 +435,7 @@ let stage_cpu p name =
     0. (Pipeline.stages p)
 
 let make_result p ~counts ~maxpath_counts ~segments ~num_structures
-    ~analysis_time ~diags =
+    ~analysis_time ~diags ~audits =
   if Obs.Metrics.is_enabled () then begin
     let sum f =
       List.fold_left (fun acc s -> acc +. f s) 0. (Pipeline.stages p)
@@ -326,6 +452,7 @@ let make_result p ~counts ~maxpath_counts ~segments ~num_structures
       num_structures;
       num_segments = Array.length segments;
       diags;
+      audits;
       solve_time = stage_cpu p "solve";
       extract_time = stage_cpu p "extract";
       analysis_time;
@@ -343,14 +470,14 @@ let make_result p ~counts ~maxpath_counts ~segments ~num_structures
   r
 
 let run_on_compact ?(material = M.cu_dac21) ?(with_maxpath = false) ?jobs
-    ?(tuning = default_tuning) ?(pipeline = Pipeline.create ()) compacts =
-  let counts, maxpath_counts, segments, analysis_time, diags =
-    finish_run pipeline ~material ~with_maxpath ~tuning ?jobs compacts
+    ?(tuning = default_tuning) ?audit ?(pipeline = Pipeline.create ()) compacts =
+  let counts, maxpath_counts, segments, analysis_time, diags, audits =
+    finish_run pipeline ~material ~with_maxpath ~tuning ?jobs ?audit compacts
   in
   make_result pipeline ~counts ~maxpath_counts ~segments
-    ~num_structures:(List.length compacts) ~analysis_time ~diags
+    ~num_structures:(List.length compacts) ~analysis_time ~diags ~audits
 
-let run_on_structures ?material ?with_maxpath ?jobs ?tuning structures =
+let run_on_structures ?material ?with_maxpath ?jobs ?tuning ?audit structures =
   let p = Pipeline.create () in
   (* Columnarizing shares each graph's CSR arrays, so ingest is a cheap
      copy of the geometry columns; ids and adjacency order are
@@ -367,9 +494,11 @@ let run_on_structures ?material ?with_maxpath ?jobs ?tuning structures =
             })
           structures)
   in
-  run_on_compact ?material ?with_maxpath ?jobs ?tuning ~pipeline:p compacts
+  run_on_compact ?material ?with_maxpath ?jobs ?tuning ?audit ~pipeline:p
+    compacts
 
-let run ?material ?with_maxpath ?jobs ?tuning (grid : Pdn.Grid_gen.generated) =
+let run ?material ?with_maxpath ?jobs ?tuning ?audit
+    (grid : Pdn.Grid_gen.generated) =
   let p = Pipeline.create () in
   let sol =
     Pipeline.run p "solve" (fun () -> Spice.Mna.solve grid.Pdn.Grid_gen.netlist)
@@ -378,7 +507,8 @@ let run ?material ?with_maxpath ?jobs ?tuning (grid : Pdn.Grid_gen.generated) =
     Pipeline.run p "extract" (fun () ->
         Extract.extract_compact ~tech:grid.Pdn.Grid_gen.tech sol)
   in
-  run_on_compact ?material ?with_maxpath ?jobs ?tuning ~pipeline:p compacts
+  run_on_compact ?material ?with_maxpath ?jobs ?tuning ?audit ~pipeline:p
+    compacts
 
 let pp_summary ppf r =
   Format.fprintf ppf

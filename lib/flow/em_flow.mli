@@ -43,8 +43,12 @@ type result = {
   num_structures : int;  (** structures submitted, including failed ones *)
   num_segments : int;    (** segments of successfully analyzed structures *)
   diags : Em_core.Diag.t list;
-      (** per-structure analysis failures, batch order; empty on a
-          clean run *)
+      (** per-structure analysis failures (batch order) followed by
+          audit-residual diagnostics; empty on a clean run *)
+  audits : Em_core.Audit.t option array;
+      (** one slot per submitted structure, batch order: [Some] when the
+          run was audited and the structure's analysis completed, [None]
+          otherwise (auditing off, or the structure fault-isolated) *)
   solve_time : float;    (** DC operating point, CPU s *)
   extract_time : float;  (** structure extraction, CPU s *)
   analysis_time : float; (** EM analysis of all structures, CPU s *)
@@ -53,8 +57,9 @@ type result = {
 }
 
 val failed_structures : result -> int
-(** Number of structures whose analysis was skipped
-    ([Em_core.Diag.count_errors] of {!result.diags}). *)
+(** Number of structures whose analysis was skipped: error diagnostics
+    in {!result.diags}, excluding ["audit-residual"] errors (a strict
+    audit flags the numbers, but the structure's analysis completed). *)
 
 type tuning = {
   huge_segments : int;
@@ -69,11 +74,49 @@ type tuning = {
 val default_tuning : tuning
 (** [{ huge_segments = 100_000; reorder_nodes = 16_384 }]. *)
 
+(** Numerical-audit configuration. Passing [?audit] turns on
+    per-structure {!Em_core.Audit} checks: each successfully analyzed
+    structure gets an audit record in {!result.audits}, aggregated into
+    the [em_audit_*] / [em_margin_*] metrics and the live aggregate
+    behind [GET /audit]; residuals out of tolerance become
+    ["audit-residual"] diagnostics. When omitted (the default) the
+    per-structure cost is a single branch. *)
+type audit_config = {
+  audit_tol : float;
+      (** relative gate for the tolerance-gated residuals; the exact
+          (bit-identity) residuals are always gated at [0.0] *)
+  audit_top_k : int;  (** critical-path steps kept in [au_top] *)
+  audit_strict : bool;
+      (** violations become [Error] diagnostics instead of warnings
+          (they still never count as {!failed_structures}) *)
+  audit_engine : string;
+      (** provenance label for how structures were extracted,
+          e.g. ["fused"] / ["boxed"] *)
+}
+
+val default_audit_config : audit_config
+(** [{ audit_tol = Em_core.Audit.default_tol; audit_top_k =
+    Em_core.Audit.default_top_k; audit_strict = false; audit_engine =
+    "fused" }]. *)
+
+val default_solve_seconds_buckets : float array
+(** The sub-microsecond-first ladder used for
+    [em_structure_solve_seconds]:
+    [[| 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1. |]]. *)
+
+val set_solve_seconds_buckets : float array -> unit
+(** Replace the [em_structure_solve_seconds] bucket ladder ([+Inf] is
+    implicit, per {!Obs.Metrics.histogram}). Must be called before the
+    first analysis of the process: registration freezes the bounds, so
+    this raises [Invalid_argument] once the histogram exists — and also
+    for an empty, non-finite, or non-increasing ladder. *)
+
 val run :
   ?material:Em_core.Material.t ->
   ?with_maxpath:bool ->
   ?jobs:int ->
   ?tuning:tuning ->
+  ?audit:audit_config ->
   Pdn.Grid_gen.generated ->
   result
 (** Solves the DC operating point internally. [material] defaults to
@@ -95,6 +138,7 @@ val run_on_compact :
   ?with_maxpath:bool ->
   ?jobs:int ->
   ?tuning:tuning ->
+  ?audit:audit_config ->
   ?pipeline:Pipeline.t ->
   Extract.compact_structure list ->
   result
@@ -107,6 +151,7 @@ val run_on_structures :
   ?with_maxpath:bool ->
   ?jobs:int ->
   ?tuning:tuning ->
+  ?audit:audit_config ->
   Extract.em_structure list ->
   result
 (** Compatibility path for callers that already solved and extracted

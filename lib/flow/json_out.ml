@@ -212,6 +212,92 @@ let of_diag (d : Dg.t) =
 
 let of_diags ds = List (Stdlib.List.map of_diag ds)
 
+module Au = Em_core.Audit
+
+let of_contribution (ct : Au.contribution) =
+  Obj
+    [
+      ("segment", Int ct.Au.ct_seg);
+      ("from_node", Int ct.Au.ct_parent);
+      ("to_node", Int ct.Au.ct_node);
+      ("delta_pa", Float ct.Au.ct_delta);
+    ]
+
+let of_audit ~tol (a : Au.t) =
+  let res = a.Au.au_residuals in
+  let prov = a.Au.au_provenance in
+  Obj
+    [
+      ("index", Int a.Au.au_index);
+      ("layer", Int a.Au.au_layer);
+      ("nodes", Int a.Au.au_nodes);
+      ("segments", Int a.Au.au_segments);
+      ("threshold_pa", Float a.Au.au_threshold);
+      ("max_stress_pa", Float a.Au.au_max_stress);
+      ("max_stress_node", Int a.Au.au_max_node);
+      ("margin_pa", Float a.Au.au_margin);
+      ("margin_rel", Float a.Au.au_rel_margin);
+      ("immortal", Bool a.Au.au_immortal);
+      ( "residuals",
+        Obj
+          [
+            ("blech_replay", Float res.Au.blech_replay);
+            ("norm_recompute", Float res.Au.norm_recompute);
+            ("stress_telescope", Float res.Au.stress_telescope);
+            ("flux_rel", Float res.Au.flux_rel);
+            ("mass_rel", Float res.Au.mass_rel);
+            ("kcl_interior_rel", Float res.Au.kcl_interior_rel);
+          ] );
+      ("worst_residual", Float (Au.worst_residual a));
+      ( "violations",
+        List
+          (Stdlib.List.map
+             (fun (name, v) -> Obj [ ("residual", String name); ("value", Float v) ])
+             (Au.violations ~tol a)) );
+      ("critical_path_len", Int (Array.length a.Au.au_path));
+      ( "top_contributions",
+        List (Stdlib.List.map of_contribution (Array.to_list a.Au.au_top)) );
+      ( "provenance",
+        Obj
+          [
+            ("engine", String prov.Au.engine);
+            ("solver", String prov.Au.solver);
+            ("jobs", Int prov.Au.jobs);
+            ("workspace_shared", Bool prov.Au.ws_shared);
+          ] );
+    ]
+
+let of_audit_report ~tol (audits : Au.t option array) =
+  let recs = Stdlib.List.filter_map Fun.id (Array.to_list audits) in
+  let violations =
+    Stdlib.List.fold_left
+      (fun acc a -> acc + if Au.violations ~tol a = [] then 0 else 1)
+      0 recs
+  in
+  let worst =
+    Stdlib.List.fold_left (fun acc a -> Float.max acc (Au.worst_residual a)) 0. recs
+  in
+  let min_margin, min_rel, min_idx =
+    Stdlib.List.fold_left
+      (fun (m, mr, mi) a ->
+        if a.Au.au_margin < m then
+          (a.Au.au_margin, a.Au.au_rel_margin, a.Au.au_index)
+        else (m, mr, mi))
+      (infinity, infinity, -1) recs
+  in
+  Obj
+    [
+      ("enabled", Bool true);
+      ("tol", Float tol);
+      ("structures_audited", Int (Stdlib.List.length recs));
+      ("violations", Int violations);
+      ("worst_residual", Float worst);
+      ("min_margin_pa", Float min_margin);
+      ("min_margin_rel", Float min_rel);
+      ("min_margin_structure", Int min_idx);
+      ("structures", List (Stdlib.List.map (of_audit ~tol) recs));
+    ]
+
 let of_flow_result (r : Em_flow.result) =
   Obj
     [

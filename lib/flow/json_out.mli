@@ -57,6 +57,16 @@ val of_telemetry : ?top:int -> ?profile:Obs.Profile.profile -> unit -> t
     run telemetry. With [profile], hot paths carry sample counts and a
     [profile] summary object is included. *)
 
+val of_audit : tol:float -> Em_core.Audit.t -> t
+(** One structure's audit record: margin/threshold, residuals, the
+    violation list gated at [tol], top-k critical-path contributions,
+    and solver-path provenance. *)
+
+val of_audit_report : tol:float -> Em_core.Audit.t option array -> t
+(** The ["audit"] object of an audited analyze report: run-level
+    aggregates (structures audited, violation count, worst residual,
+    minimum margin) plus one {!of_audit} entry per audited structure. *)
+
 val of_diag : Em_core.Diag.t -> t
 (** Object with [severity] / [code] / [source] / [message]; [severity]
     uses the stable strings of {!Em_core.Diag.severity_to_string}. *)

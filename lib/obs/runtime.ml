@@ -61,6 +61,24 @@ let reset () =
   Atomic.set structures_total 0
 
 (* ------------------------------------------------------------------ *)
+(* Audit snapshot provider
+
+   The numerical-audit aggregate lives in em_core, which this library
+   cannot depend on; the flow (or CLI) registers a snapshot renderer
+   here and the HTTP listener serves whatever it returns. Unlike the
+   run-state atomics this is not gated by the enabled flag: the
+   provider is only installed when auditing was explicitly requested. *)
+
+let audit_provider : (unit -> string) option Atomic.t = Atomic.make None
+
+let set_audit_provider p = Atomic.set audit_provider p
+
+let audit_json () =
+  match Atomic.get audit_provider with
+  | Some render -> render ()
+  | None -> "{\"enabled\":false}"
+
+(* ------------------------------------------------------------------ *)
 (* Monitor gauges                                                      *)
 
 let g_uptime =

@@ -59,6 +59,18 @@ val uptime_s : unit -> float
 val reset : unit -> unit
 (** Clear phase and progress (tests). *)
 
+(** {1 Audit snapshot provider} *)
+
+val set_audit_provider : (unit -> string) option -> unit
+(** Install (or clear, with [None]) the renderer behind [GET /audit].
+    The provider returns a complete JSON document and must be safe to
+    call from the listener domain at any instant mid-run. Not gated by
+    {!set_enabled}: installing it is already the opt-in. *)
+
+val audit_json : unit -> string
+(** What [GET /audit] serves: the provider's output, or
+    [{"enabled":false}] when none is installed. *)
+
 (** {1 Monitor} *)
 
 type monitor

@@ -59,6 +59,7 @@ let default_routes () =
         in
         ("application/json", Profile.to_speedscope ~track_names p) );
     ("/flight", fun () -> ("application/x-ndjson", Flight.to_json_lines ()));
+    ("/audit", fun () -> ("application/json", Runtime.audit_json ()));
   ]
 
 (* ------------------------------------------------------------------ *)

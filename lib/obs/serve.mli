@@ -18,7 +18,10 @@
        sampler's observations so far ({!Profile.snapshot}; an empty
        speedscope document when no sampler runs);}
     {- [GET /flight] — the flight-recorder rings as JSON lines
-       ({!Flight.to_json_lines}).}}
+       ({!Flight.to_json_lines});}
+    {- [GET /audit] — the live numerical-audit aggregate
+       ({!Runtime.audit_json}; [{"enabled":false}] until a provider is
+       installed).}}
 
     Every snapshot read goes through the same mutex- or atomic-guarded
     paths the post-mortem exporters use, so scraping never blocks or
@@ -45,7 +48,7 @@ type handler = unit -> string * string
     the listener domain. An exception turns into a [500]. *)
 
 val default_routes : unit -> (string * handler) list
-(** The five endpoints above, as [(path, handler)] pairs. *)
+(** The six endpoints above, as [(path, handler)] pairs. *)
 
 val start :
   ?addr:string ->

@@ -1201,6 +1201,123 @@ let test_duty_cycles () =
   check_raises_invalid "length mismatch" (fun () ->
       ignore (St.with_duty_cycles s [| 1. |]))
 
+(* ---------------------------------------------------------------- *)
+(* Numerical audit                                                   *)
+
+module Au = Em_core.Audit
+
+let audit_prov solver =
+  { Au.engine = "test"; Au.solver; jobs = 1; ws_shared = false }
+
+(* The audit replays the solver's own floating-point expressions, so on
+   every bit-identical production path its exact residuals must be
+   exactly 0.0 — not merely small — and the tolerance-gated physical
+   residuals must sit under the default gate. Workspace-aliased
+   solutions are audited immediately, before the next solve overwrites
+   the shared buffers. *)
+let prop_audit_exact_zero_all_paths (n, seed) =
+  let s = make_tree (n, seed) in
+  let c = Cc.of_structure s in
+  let check_path solver sol =
+    let a = Au.check ~provenance:(audit_prov solver) cu c sol in
+    Au.exact_residual a = 0. && Au.violations ~tol:Au.default_tol a = []
+  in
+  check_path "boxed" (Ss.solve cu s)
+  && check_path "compact" (Ss.solve_compact cu c)
+  && check_path "compact-ws" (Ss.solve_compact ~ws:compact_ws cu c)
+  && check_path "reordered" (Ss.solve_compact_reordered cu c)
+  && check_path "reordered-rcm" (Ss.solve_compact_reordered ~strategy:`Rcm cu c)
+  && check_path "reordered+par" (Ss.solve_compact_reordered ~jobs:4 cu c)
+  && check_path "par-j2" (Ss.solve_compact_par ~jobs:2 cu c)
+  && check_path "par-j4" (Ss.solve_compact_par ~jobs:4 cu c)
+
+(* A single-ulp corruption of any solution array must push an exact
+   residual strictly above zero — that is the whole point of gating them
+   at 0.0 instead of a tolerance. The corrupted entry is the largest-
+   magnitude one, so the ulp survives the relative normalization. *)
+let prop_audit_detects_corruption (n, seed) =
+  let s = make_tree (n, seed) in
+  let c = Cc.of_structure s in
+  let sol = Ss.solve_compact cu c in
+  let argmax_abs arr =
+    let best = ref 0 in
+    Array.iteri
+      (fun i v -> if Float.abs v > Float.abs arr.(!best) then best := i)
+      arr;
+    !best
+  in
+  let bump arr =
+    let a = Array.copy arr in
+    let i = argmax_abs a in
+    a.(i) <- Float.succ a.(i);
+    a
+  in
+  let audit sol' = Au.check ~provenance:(audit_prov "compact") cu c sol' in
+  let clean = audit sol in
+  let bad_stress = audit { sol with Ss.node_stress = bump sol.Ss.node_stress } in
+  let bad_blech = audit { sol with Ss.blech_sum = bump sol.Ss.blech_sum } in
+  Au.exact_residual clean = 0.
+  && Au.exact_residual bad_stress > 0.
+  && Au.violations ~tol:Au.default_tol bad_stress <> []
+  && Au.exact_residual bad_blech > 0.
+  && Au.violations ~tol:Au.default_tol bad_blech <> []
+
+(* Margin bookkeeping and the critical-path attribution: the peak node
+   really is the max, the margin is the signed slack to the threshold,
+   and the path's per-step contributions telescope to
+   sigma(peak) - sigma(reference). *)
+let prop_audit_margin_and_path (n, seed) =
+  let s = make_tree (n, seed) in
+  let c = Cc.of_structure s in
+  let sol = Ss.solve_compact cu c in
+  let a = Au.check ~provenance:(audit_prov "compact") cu c sol in
+  let stress = sol.Ss.node_stress in
+  let threshold = M.effective_critical_stress cu in
+  let path_sum =
+    Array.fold_left (fun acc ct -> acc +. ct.Au.ct_delta) 0. a.Au.au_path
+  in
+  a.Au.au_max_stress = stress.(a.Au.au_max_node)
+  && Array.for_all (fun v -> v <= a.Au.au_max_stress) stress
+  && Float.abs (a.Au.au_margin -. (threshold -. a.Au.au_max_stress))
+     <= 1e-12 *. Float.abs threshold
+  && a.Au.au_immortal = (a.Au.au_max_stress < threshold)
+  && Float.abs (path_sum -. (stress.(a.Au.au_max_node) -. stress.(sol.Ss.reference)))
+     <= 1e-9 *. (Float.abs a.Au.au_max_stress +. 1.)
+  && Array.length a.Au.au_top <= Au.default_top_k
+  && Array.length a.Au.au_top <= Array.length a.Au.au_path
+
+let test_audit_violation_diag () =
+  let s = make_tree (17, 42) in
+  let c = Cc.of_structure s in
+  let sol = Ss.solve_compact cu c in
+  let a = Au.check ~index:3 ~layer:5 ~provenance:(audit_prov "compact") cu c sol in
+  Alcotest.(check (option string)) "clean solution: no diagnostic" None
+    (Option.map
+       (fun (d : Em_core.Diag.t) -> d.Em_core.Diag.code)
+       (Au.violation_diag ~strict:false ~tol:Au.default_tol a));
+  let corrupted = Array.copy sol.Ss.node_stress in
+  corrupted.(0) <- corrupted.(0) +. 1.;
+  let bad =
+    Au.check ~index:3 ~layer:5 ~provenance:(audit_prov "compact") cu c
+      { sol with Ss.node_stress = corrupted }
+  in
+  (match Au.violation_diag ~strict:false ~tol:Au.default_tol bad with
+  | None -> Alcotest.fail "corrupted solution must produce a diagnostic"
+  | Some d ->
+    Alcotest.(check string) "code" "audit-residual" d.Em_core.Diag.code;
+    Alcotest.(check bool) "warning by default" true
+      (d.Em_core.Diag.severity = Em_core.Diag.Warning);
+    (match d.Em_core.Diag.source with
+    | Em_core.Diag.Structure { index; layer } ->
+      Alcotest.(check int) "index" 3 index;
+      Alcotest.(check int) "layer" 5 layer
+    | _ -> Alcotest.fail "diagnostic must name the structure"));
+  match Au.violation_diag ~strict:true ~tol:Au.default_tol bad with
+  | Some d ->
+    Alcotest.(check bool) "error under strict" true
+      (d.Em_core.Diag.severity = Em_core.Diag.Error)
+  | None -> Alcotest.fail "strict audit must produce a diagnostic"
+
 let suites =
   [
     ("core.units", [ case "conversions and constants" test_units ]);
@@ -1301,6 +1418,16 @@ let suites =
         case "parallel/reordered guards" test_par_solve_guards;
         case "Degenerate propagates through new paths"
           test_reordered_degenerate_propagates;
+      ] );
+    ( "core.audit",
+      [
+        qcheck "exact residuals are 0 on every solver path" tree_gen
+          prop_audit_exact_zero_all_paths;
+        qcheck "one-ulp corruption is detected" tree_gen
+          prop_audit_detects_corruption;
+        qcheck "margin and critical-path attribution" tree_gen
+          prop_audit_margin_and_path;
+        case "violation diagnostics" test_audit_violation_diag;
       ] );
     ( "core.properties",
       [

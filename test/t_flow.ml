@@ -1251,6 +1251,125 @@ let test_flow_diags_serialized () =
   Alcotest.(check bool) "json severity" true
     (contains json {|"severity":"error"|})
 
+(* ---------------------------------------------------------------- *)
+(* Runtime numerical audit                                           *)
+
+module Au = Em_core.Audit
+
+let test_flow_audit_end_to_end () =
+  let healthy, clean = Lazy.force fault_fixture in
+  let audited = Flow.run_on_compact ~audit:Flow.default_audit_config healthy in
+  (* Auditing must be result-neutral... *)
+  check_segments_bit_identical clean.Flow.segments audited.Flow.segments;
+  Alcotest.(check int) "no diagnostics" 0 (List.length audited.Flow.diags);
+  (* ...and the un-audited run carries no records. *)
+  Alcotest.(check bool) "clean run has empty audit slots" true
+    (Array.for_all Option.is_none clean.Flow.audits);
+  Alcotest.(check int) "one audit slot per structure" (List.length healthy)
+    (Array.length audited.Flow.audits);
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | None -> Alcotest.failf "structure %d was not audited" i
+      | Some (a : Au.t) ->
+        Alcotest.(check int) "record names its slot" i a.Au.au_index;
+        if Au.exact_residual a <> 0. then
+          Alcotest.failf "structure %d: exact residual %g <> 0" i
+            (Au.exact_residual a);
+        (match Au.violations ~tol:Flow.default_audit_config.Flow.audit_tol a with
+        | [] -> ()
+        | (name, v) :: _ ->
+          Alcotest.failf "structure %d: residual violation %s = %g" i name v);
+        Alcotest.(check string) "provenance engine" "fused"
+          a.Au.au_provenance.Au.engine;
+        Alcotest.(check int) "provenance jobs" 1 a.Au.au_provenance.Au.jobs)
+    audited.Flow.audits;
+  (* Audited parallel and reordered routes still agree and are audited. *)
+  let par =
+    Flow.run_on_compact ~jobs:2 ~audit:Flow.default_audit_config
+      ~tuning:{ Flow.huge_segments = 1; reorder_nodes = 1 }
+      healthy
+  in
+  check_segments_bit_identical clean.Flow.segments par.Flow.segments;
+  Array.iter
+    (function
+      | Some (a : Au.t) ->
+        Alcotest.(check string) "huge-route solver" "reordered+par"
+          a.Au.au_provenance.Au.solver;
+        if Au.exact_residual a <> 0. then
+          Alcotest.failf "parallel route: exact residual %g <> 0"
+            (Au.exact_residual a)
+      | None -> Alcotest.fail "parallel route skipped an audit")
+    par.Flow.audits
+
+let test_flow_audit_fault_isolated () =
+  let healthy, _ = Lazy.force fault_fixture in
+  let dirty =
+    Flow.run_on_compact ~audit:Flow.default_audit_config
+      (insert_at 0 (poison_compact ()) healthy)
+  in
+  Alcotest.(check int) "poison still isolated" 1
+    (Flow.failed_structures dirty);
+  (match dirty.Flow.audits.(0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "fault-isolated structure must carry no audit");
+  Array.iteri
+    (fun i slot ->
+      if i > 0 && Option.is_none slot then
+        Alcotest.failf "healthy structure %d lost its audit" i)
+    dirty.Flow.audits
+
+let test_flow_audit_json () =
+  let healthy, _ = Lazy.force fault_fixture in
+  let r = Flow.run_on_compact ~audit:Flow.default_audit_config healthy in
+  let tol = Flow.default_audit_config.Flow.audit_tol in
+  let json = J.to_string (J.of_audit_report ~tol r.Flow.audits) in
+  let contains hay needle =
+    let n = String.length needle in
+    let found = ref false in
+    for i = 0 to String.length hay - n do
+      if String.sub hay i n = needle then found := true
+    done;
+    !found
+  in
+  Alcotest.(check bool) "audited count" true
+    (contains json
+       (Printf.sprintf {|"structures_audited":%d|} (List.length healthy)));
+  Alcotest.(check bool) "zero violations" true
+    (contains json {|"violations":0|});
+  Alcotest.(check bool) "margins present" true (contains json {|"margin_pa":|});
+  Alcotest.(check bool) "attribution present" true
+    (contains json {|"top_contributions":|});
+  Alcotest.(check bool) "provenance present" true
+    (contains json {|"solver":"|})
+
+let test_solve_buckets_validation () =
+  (* Any flow run above froze the em_structure_solve_seconds ladder for
+     the process, so even a valid replacement must be refused now... *)
+  let _ = Lazy.force fault_fixture in
+  check_raises_invalid "after first analysis" (fun () ->
+      Flow.set_solve_seconds_buckets Flow.default_solve_seconds_buckets);
+  (* ...and malformed ladders are always refused. *)
+  check_raises_invalid "empty" (fun () -> Flow.set_solve_seconds_buckets [||]);
+  check_raises_invalid "non-increasing" (fun () ->
+      Flow.set_solve_seconds_buckets [| 1e-3; 1e-3 |]);
+  check_raises_invalid "non-finite" (fun () ->
+      Flow.set_solve_seconds_buckets [| 1e-3; infinity |])
+
+let test_variation_runtime_progress () =
+  let compacts = stressed_compacts () in
+  let n = List.length compacts in
+  let spec = { Va.default_spec with Va.samples = 3; seed = 7L } in
+  Obs.Runtime.with_enabled true (fun () ->
+      Obs.Runtime.reset ();
+      ignore (Va.run_compact spec compacts);
+      Alcotest.(check string) "phase published" "variation"
+        (Obs.Runtime.phase ());
+      let sdone, stotal = Obs.Runtime.structures () in
+      Alcotest.(check int) "total covers the batch" n stotal;
+      Alcotest.(check int) "every structure counted" n sdone);
+  Obs.Runtime.reset ()
+
 let suites =
   [
     ( "flow.extract",
@@ -1282,6 +1401,16 @@ let suites =
           test_flow_fault_isolation_new_paths;
         case "diagnostics serialized" test_flow_diags_serialized;
         test_flow_fault_isolation_qcheck;
+      ] );
+    ( "flow.audit",
+      [
+        case "audited run: neutral, complete, clean" test_flow_audit_end_to_end;
+        case "fault isolation keeps healthy audits"
+          test_flow_audit_fault_isolated;
+        case "audit report serialization" test_flow_audit_json;
+        case "solve-seconds bucket validation" test_solve_buckets_validation;
+        case "variation publishes live progress"
+          test_variation_runtime_progress;
       ] );
     ( "flow.scatter",
       [

@@ -190,6 +190,49 @@ let test_snapshot_endpoints () =
         "flight content type" (Some "application/x-ndjson")
         (List.assoc_opt "content-type" fl.headers))
 
+let test_audit_endpoint () =
+  with_server (fun server ->
+      let port = Sv.port server in
+      (* No provider installed: a valid "disabled" document, not a 404 —
+         the scrape-anytime contract. *)
+      Rt.set_audit_provider None;
+      let r = http_get ~port "/audit" in
+      Alcotest.(check int) "status without provider" 200 r.status;
+      Alcotest.(check (option string))
+        "json content type" (Some "application/json")
+        (List.assoc_opt "content-type" r.headers);
+      Alcotest.(check string) "disabled document" {|{"enabled":false}|}
+        (String.trim r.body);
+      (* An installed provider's document is served verbatim... *)
+      Rt.set_audit_provider (Some (fun () -> {|{"enabled":true,"probe":42}|}));
+      Fun.protect
+        ~finally:(fun () -> Rt.set_audit_provider None)
+        (fun () ->
+          let r = http_get ~port "/audit" in
+          Alcotest.(check int) "status with provider" 200 r.status;
+          Alcotest.(check string) "provider document"
+            {|{"enabled":true,"probe":42}|}
+            (String.trim r.body));
+      (* ...and clearing it restores the disabled document. *)
+      Alcotest.(check string) "cleared provider" {|{"enabled":false}|}
+        (String.trim (http_get ~port "/audit").body);
+      (* The real aggregate renders valid JSON through the endpoint. *)
+      Em_core.Audit.Live.reset ~tol:1e-9;
+      Rt.set_audit_provider (Some Em_core.Audit.Live.to_json);
+      Fun.protect
+        ~finally:(fun () -> Rt.set_audit_provider None)
+        (fun () ->
+          let r = http_get ~port "/audit" in
+          Alcotest.(check bool) "live aggregate is valid JSON" true
+            (T_obs.json_accepts (String.trim r.body));
+          List.iter
+            (fun needle ->
+              Alcotest.(check bool) ("live aggregate has " ^ needle) true
+                (T_obs.contains r.body needle))
+            [
+              {|"enabled":true|}; {|"structures_audited":0|}; {|"violations":0|};
+            ]))
+
 (* ---------------------------------------------------------------- *)
 (* Hostile clients                                                   *)
 
@@ -349,6 +392,7 @@ let suites =
         case "/metrics exposition and headers" test_metrics_endpoint;
         case "/healthz live run state" test_healthz_endpoint;
         case "/trace /profile /flight snapshots" test_snapshot_endpoints;
+        case "/audit provider contract" test_audit_endpoint;
       ] );
     ( "serve.hostile",
       [
