@@ -185,7 +185,14 @@ let print_verdict (v : H.verdict) =
   Rp.print table;
   print_newline ()
 
-let write_json_verdict path ~no_history verdicts =
+(* The verdict is self-describing for CI logs: it names the history
+   file it gated against (absolute, so the log line works from any
+   checkout directory) and the baseline window actually used. *)
+let absolute path =
+  if Filename.is_relative path then Filename.concat (Sys.getcwd ()) path
+  else path
+
+let write_json_verdict path ~history ~window ~no_history verdicts =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -195,6 +202,8 @@ let write_json_verdict path ~no_history verdicts =
            [
              ("regressed", J.Bool (H.regressed verdicts));
              ("no_history", J.Bool no_history);
+             ("history", J.String (absolute history));
+             ("window", J.Int window);
              ("verdicts", J.List (List.map H.verdict_to_json verdicts));
            ]);
       output_char oc '\n');
@@ -218,7 +227,9 @@ let compare args =
        run the benches and record a baseline; nothing gated\n"
       hist o.out_dir;
     Option.iter
-      (fun path -> write_json_verdict path ~no_history:true [])
+      (fun path ->
+        write_json_verdict path ~history:hist ~window:o.window
+          ~no_history:true [])
       o.json_verdict;
     0
   | [] ->
@@ -236,7 +247,9 @@ let compare args =
     in
     List.iter print_verdict verdicts;
     Option.iter
-      (fun path -> write_json_verdict path ~no_history verdicts)
+      (fun path ->
+        write_json_verdict path ~history:hist ~window:o.window ~no_history
+          verdicts)
       o.json_verdict;
     if H.regressed verdicts then begin
       Printf.printf "REGRESSION: at least one metric worsened past its \

@@ -1,0 +1,102 @@
+(* Canonical content hashing of compact structures. See the .mli for
+   the stability contract; the invariances all reduce to two rules:
+   every per-node collection is sorted before hashing, and every token
+   is built from structural labels and quantized values, never from
+   node ids or array positions. *)
+
+module Cc = Compact
+
+type t = string
+
+let version_tag = "emfp1"
+
+(* 12 significant digits: coarse enough to absorb sub-ulp jitter from
+   a re-extraction, fine enough that any intentional edit registers.
+   [-0.] and [0.] are the same quantity. *)
+let quantize x = if x = 0. then "0" else Printf.sprintf "%.12g" x
+
+let short fp = if String.length fp <= 12 then fp else String.sub fp 0 12
+
+(* Weisfeiler-Leman rounds. The segment multiset already separates any
+   geometry difference; refinement only has to separate same-multiset
+   rewirings, for which a handful of rounds is ample. Fixed forever for
+   [emfp1] — changing it would silently re-key every ledger. *)
+let wl_rounds = 4
+
+let of_compact ?layer ?material (c : Cc.t) =
+  let n = c.Cc.num_nodes in
+  let m = Cc.num_segments c in
+  (* Per-segment quantized geometry token (direction-independent). *)
+  let geom =
+    Array.init m (fun k ->
+        quantize c.Cc.length.(k)
+        ^ ","
+        ^ quantize c.Cc.width.(k)
+        ^ ","
+        ^ quantize c.Cc.height.(k))
+  in
+  (* Signed current leaving node [v] along segment [k]: invariant under
+     a tail/head swap with negated [j] (the same physical segment). *)
+  let outflow v k = if c.Cc.tail.(k) = v then c.Cc.j.(k) else -.c.Cc.j.(k) in
+  let incident_tokens v extend =
+    let lo = c.Cc.offsets.(v) and hi = c.Cc.offsets.(v + 1) in
+    let toks = ref [] in
+    for s = lo to hi - 1 do
+      let k = c.Cc.adj_edge.(s) in
+      toks := extend s k (geom.(k) ^ "," ^ quantize (outflow v k)) :: !toks
+    done;
+    List.sort String.compare !toks
+  in
+  let hash_node prefix toks = Digest.string (String.concat ";" (prefix :: toks)) in
+  (* Round 0: degree plus the sorted incident (geometry, outflow)
+     multiset. *)
+  let label =
+    Array.init n (fun v ->
+        hash_node
+          ("d" ^ string_of_int (Cc.degree c v))
+          (incident_tokens v (fun _ _ tok -> tok)))
+  in
+  (* Refinement: fold each neighbor's previous label into the incidence
+     tokens, re-sort, re-hash. *)
+  let next = Array.make n "" in
+  for _ = 1 to wl_rounds do
+    for v = 0 to n - 1 do
+      next.(v) <-
+        hash_node label.(v)
+          (incident_tokens v (fun s _ tok -> tok ^ "," ^ label.(c.Cc.adj_nbr.(s))))
+    done;
+    Array.blit next 0 label 0 n
+  done;
+  (* Final multiset: one orientation-canonical token per segment. The
+     two orientations of segment k read (label_tail, j) and
+     (label_head, -j); the lexicographic minimum is a canonical choice
+     even when both endpoint labels coincide. *)
+  let seg_token k =
+    let lt = label.(c.Cc.tail.(k)) and lh = label.(c.Cc.head.(k)) in
+    let fwd = lt ^ lh ^ geom.(k) ^ "," ^ quantize c.Cc.j.(k) in
+    let bwd = lh ^ lt ^ geom.(k) ^ "," ^ quantize (-.c.Cc.j.(k)) in
+    if String.compare fwd bwd <= 0 then fwd else bwd
+  in
+  let tokens = List.sort String.compare (List.init m seg_token) in
+  let context =
+    (match layer with None -> "" | Some l -> Printf.sprintf "|layer=%d" l)
+    ^
+    match material with
+    | None -> ""
+    | Some mat ->
+      (* Hash the analysis-relevant derived constants: two material
+         records implying the same beta and threshold analyze alike. *)
+      Printf.sprintf "|mat=%s,%s"
+        (quantize (Material.beta mat))
+        (quantize (Material.effective_critical_stress mat))
+  in
+  let buf = Buffer.create (64 + (34 * m)) in
+  Buffer.add_string buf version_tag;
+  Buffer.add_string buf
+    (Printf.sprintf "|n=%d|m=%d%s|" n m context);
+  List.iter
+    (fun tok ->
+      Buffer.add_string buf tok;
+      Buffer.add_char buf '\n')
+    tokens;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -17,6 +17,17 @@ type segment_record = {
   maxpath_immortal : bool;
 }
 
+type structure_stat = {
+  st_layer : int;
+  st_nodes : int;
+  st_segments : int;
+  st_ok : bool;
+  st_immortal : bool;
+  st_max_stress : float;
+  st_margin : float;
+  st_solve_s : float;
+}
+
 type result = {
   counts : Cl.counts;
   maxpath_counts : Cl.counts option;
@@ -25,6 +36,7 @@ type result = {
   num_segments : int;
   diags : Dg.t list;
   audits : Au.t option array;
+  structure_stats : structure_stat array;
   solve_time : float;
   extract_time : float;
   analysis_time : float;
@@ -227,7 +239,23 @@ let analyze_one material with_maxpath ~tuning ~par_jobs ~audit ~index ws
           maxpath_immortal = (if with_maxpath then maxpath.(k) else exact);
         })
   in
-  (records, audit_record)
+  (* Cheap per-structure aggregate for the run ledger: one O(nodes) max
+     scan. The signed margin is threshold - peak stress, positive iff
+     every segment of the structure is exactly immortal. *)
+  let max_stress = Array.fold_left Float.max neg_infinity stress in
+  let stat =
+    {
+      st_layer = cs.Extract.cs_layer_level;
+      st_nodes = Cc.num_nodes c;
+      st_segments = Cc.num_segments c;
+      st_ok = true;
+      st_immortal = max_stress < threshold;
+      st_max_stress = max_stress;
+      st_margin = threshold -. max_stress;
+      st_solve_s = 0.;
+    }
+  in
+  (records, audit_record, stat)
 
 (* Telemetry wrapper around [analyze_one]: the whole per-structure unit
    of work becomes a "structure" span on the worker's track (nested under
@@ -259,11 +287,12 @@ let analyze_traced material with_maxpath ~tuning ~par_jobs ~audit ws index
   (* Live progress counts finished structures, successful or
      fault-isolated, so /healthz reaches done = total even on decks
      with failing structures. *)
+  let wall0 = Unix.gettimeofday () in
   match traced () with
-  | records ->
+  | records, audit_record, stat ->
     Obs.Metrics.inc structures_analyzed;
     Obs.Runtime.structure_done ();
-    records
+    (records, audit_record, { stat with st_solve_s = Unix.gettimeofday () -. wall0 })
   | exception e ->
     Obs.Runtime.structure_done ();
     raise e
@@ -360,12 +389,27 @@ let finish_run p ~material ~with_maxpath ~tuning ?jobs ?audit compacts =
   in
   let diags = ref [] in
   let audits = Array.make nstruct None in
+  let failed_stat i =
+    let c = compacts_arr.(i).Extract.compact in
+    {
+      st_layer = compacts_arr.(i).Extract.cs_layer_level;
+      st_nodes = Cc.num_nodes c;
+      st_segments = Cc.num_segments c;
+      st_ok = false;
+      st_immortal = false;
+      st_max_stress = Float.nan;
+      st_margin = Float.nan;
+      st_solve_s = 0.;
+    }
+  in
+  let stats = Array.init nstruct failed_stat in
   let per_structure =
     Array.mapi
       (fun i slot ->
         match slot with
-        | Ok (records, audit_record) ->
+        | Ok (records, audit_record, stat) ->
           audits.(i) <- audit_record;
+          stats.(i) <- stat;
           records
         | Error (e, _bt) ->
           Obs.Metrics.inc structures_failed;
@@ -426,7 +470,7 @@ let finish_run p ~material ~with_maxpath ~tuning ?jobs ?audit compacts =
     | Some j when j > 1 -> Unix.gettimeofday () -. wall0
     | _ -> Sys.time () -. t0
   in
-  (counts, maxpath_counts, segments, analysis_time, diags, audits)
+  (counts, maxpath_counts, segments, analysis_time, diags, audits, stats)
 
 let stage_cpu p name =
   List.fold_left
@@ -435,7 +479,7 @@ let stage_cpu p name =
     0. (Pipeline.stages p)
 
 let make_result p ~counts ~maxpath_counts ~segments ~num_structures
-    ~analysis_time ~diags ~audits =
+    ~analysis_time ~diags ~audits ~stats =
   if Obs.Metrics.is_enabled () then begin
     let sum f =
       List.fold_left (fun acc s -> acc +. f s) 0. (Pipeline.stages p)
@@ -453,6 +497,7 @@ let make_result p ~counts ~maxpath_counts ~segments ~num_structures
       num_segments = Array.length segments;
       diags;
       audits;
+      structure_stats = stats;
       solve_time = stage_cpu p "solve";
       extract_time = stage_cpu p "extract";
       analysis_time;
@@ -471,11 +516,11 @@ let make_result p ~counts ~maxpath_counts ~segments ~num_structures
 
 let run_on_compact ?(material = M.cu_dac21) ?(with_maxpath = false) ?jobs
     ?(tuning = default_tuning) ?audit ?(pipeline = Pipeline.create ()) compacts =
-  let counts, maxpath_counts, segments, analysis_time, diags, audits =
+  let counts, maxpath_counts, segments, analysis_time, diags, audits, stats =
     finish_run pipeline ~material ~with_maxpath ~tuning ?jobs ?audit compacts
   in
   make_result pipeline ~counts ~maxpath_counts ~segments
-    ~num_structures:(List.length compacts) ~analysis_time ~diags ~audits
+    ~num_structures:(List.length compacts) ~analysis_time ~diags ~audits ~stats
 
 let run_on_structures ?material ?with_maxpath ?jobs ?tuning ?audit structures =
   let p = Pipeline.create () in

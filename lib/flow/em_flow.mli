@@ -36,6 +36,27 @@ type segment_record = {
   maxpath_immortal : bool; (** equals [exact] when the ablation is off *)
 }
 
+(** Per-structure aggregate recorded on every run (no [?audit] needed):
+    one cheap O(nodes) scan per structure. The run ledger keys these by
+    {!Em_core.Fingerprint} to track verdict and margin across runs. *)
+type structure_stat = {
+  st_layer : int;     (** metal level *)
+  st_nodes : int;
+  st_segments : int;
+  st_ok : bool;       (** [false] iff the structure fault-isolated *)
+  st_immortal : bool; (** every segment exactly immortal *)
+  st_max_stress : float;
+      (** peak steady-state stress over the structure's nodes, Pa
+          ([nan] when [st_ok = false]) *)
+  st_margin : float;
+      (** signed immortality margin: effective critical stress minus
+          [st_max_stress], Pa — positive iff [st_immortal]
+          ([nan] when [st_ok = false]) *)
+  st_solve_s : float;
+      (** wall-clock time of this structure's analysis unit (solve +
+          verdicts + audit when enabled); [0.] when fault-isolated *)
+}
+
 type result = {
   counts : Em_core.Classify.counts;          (** Blech vs exact *)
   maxpath_counts : Em_core.Classify.counts option;
@@ -49,6 +70,9 @@ type result = {
       (** one slot per submitted structure, batch order: [Some] when the
           run was audited and the structure's analysis completed, [None]
           otherwise (auditing off, or the structure fault-isolated) *)
+  structure_stats : structure_stat array;
+      (** one slot per submitted structure, batch order — always
+          populated, including for fault-isolated structures *)
   solve_time : float;    (** DC operating point, CPU s *)
   extract_time : float;  (** structure extraction, CPU s *)
   analysis_time : float; (** EM analysis of all structures, CPU s *)

@@ -55,10 +55,21 @@ let structure_done () =
 
 let structures () = (Atomic.get structures_done, Atomic.get structures_total)
 
+(* Ledger correlation: the id of the run being recorded (--record-run),
+   surfaced in /healthz so a scraper can join live telemetry with the
+   archived record. Not gated by the enabled flag — installing it is
+   the opt-in, like the providers below. *)
+let run_id_state : string option Atomic.t = Atomic.make None
+
+let set_run_id id = Atomic.set run_id_state id
+
+let run_id () = Atomic.get run_id_state
+
 let reset () =
   Atomic.set phase_state "";
   Atomic.set structures_done 0;
-  Atomic.set structures_total 0
+  Atomic.set structures_total 0;
+  Atomic.set run_id_state None
 
 (* ------------------------------------------------------------------ *)
 (* Audit snapshot provider
@@ -75,6 +86,20 @@ let set_audit_provider p = Atomic.set audit_provider p
 
 let audit_json () =
   match Atomic.get audit_provider with
+  | Some render -> render ()
+  | None -> "{\"enabled\":false}"
+
+let audit_enabled () = Option.is_some (Atomic.get audit_provider)
+
+(* Run-ledger snapshot provider — same pattern as the audit one: the
+   ledger lives in lib/flow, which this library cannot depend on, so
+   the CLI installs a renderer while --record-run is active. *)
+let runs_provider : (unit -> string) option Atomic.t = Atomic.make None
+
+let set_runs_provider p = Atomic.set runs_provider p
+
+let runs_json () =
+  match Atomic.get runs_provider with
   | Some render -> render ()
   | None -> "{\"enabled\":false}"
 

@@ -56,8 +56,16 @@ val uptime_s : unit -> float
 (** Seconds since this module was initialized (process start, for any
     process that links the observability layer). *)
 
+val set_run_id : string option -> unit
+(** Publish (or clear) the run-ledger identifier of the recording in
+    progress; surfaced as [run_id] in [/healthz] so scrapers can
+    correlate live telemetry with the archived run. Not gated by
+    {!set_enabled}: setting it is already the opt-in. *)
+
+val run_id : unit -> string option
+
 val reset : unit -> unit
-(** Clear phase and progress (tests). *)
+(** Clear phase, progress and run id (tests). *)
 
 (** {1 Audit snapshot provider} *)
 
@@ -69,6 +77,21 @@ val set_audit_provider : (unit -> string) option -> unit
 
 val audit_json : unit -> string
 (** What [GET /audit] serves: the provider's output, or
+    [{"enabled":false}] when none is installed. *)
+
+val audit_enabled : unit -> bool
+(** Whether an audit provider is currently installed — the
+    [audit_enabled] field of [/healthz]. *)
+
+(** {1 Run-ledger snapshot provider} *)
+
+val set_runs_provider : (unit -> string) option -> unit
+(** Install (or clear) the renderer behind [GET /runs]; the CLI
+    installs one while [--record-run] is active. Same contract as
+    {!set_audit_provider}. *)
+
+val runs_json : unit -> string
+(** What [GET /runs] serves: the provider's output, or
     [{"enabled":false}] when none is installed. *)
 
 (** {1 Monitor} *)

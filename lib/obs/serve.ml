@@ -30,6 +30,14 @@ let healthz_json () =
   Buffer.add_string buf (string_of_int sdone);
   Buffer.add_string buf ",\"structures_total\":";
   Buffer.add_string buf (string_of_int stotal);
+  (* Cross-run correlation: the ledger run id being recorded (null when
+     --record-run is off) and whether a numerical audit is live. *)
+  Buffer.add_string buf ",\"run_id\":";
+  (match Runtime.run_id () with
+  | Some id -> Jsonx.add_string buf id
+  | None -> Buffer.add_string buf "null");
+  Buffer.add_string buf ",\"audit_enabled\":";
+  Buffer.add_string buf (if Runtime.audit_enabled () then "true" else "false");
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
@@ -60,6 +68,7 @@ let default_routes () =
         ("application/json", Profile.to_speedscope ~track_names p) );
     ("/flight", fun () -> ("application/x-ndjson", Flight.to_json_lines ()));
     ("/audit", fun () -> ("application/json", Runtime.audit_json ()));
+    ("/runs", fun () -> ("application/json", Runtime.runs_json ()));
   ]
 
 (* ------------------------------------------------------------------ *)

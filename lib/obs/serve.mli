@@ -10,7 +10,9 @@
        ({!Metrics.to_prometheus}, [Content-Type: text/plain;
        version=0.0.4]) of the default registry;}
     {- [GET /healthz] — JSON liveness: status, uptime, current pipeline
-       phase and structures done/total (from {!Runtime});}
+       phase, structures done/total, the ledger [run_id] being recorded
+       ([null] unless [--record-run] is active) and [audit_enabled]
+       (from {!Runtime});}
     {- [GET /trace] — Chrome-trace JSON snapshot of the spans completed
        so far ({!Trace.to_chrome_json} of the installed sink; an empty
        trace document when tracing is off);}
@@ -21,7 +23,9 @@
        ({!Flight.to_json_lines});}
     {- [GET /audit] — the live numerical-audit aggregate
        ({!Runtime.audit_json}; [{"enabled":false}] until a provider is
-       installed).}}
+       installed);}
+    {- [GET /runs] — the run-ledger snapshot ({!Runtime.runs_json};
+       [{"enabled":false}] until [--record-run] installs a provider).}}
 
     Every snapshot read goes through the same mutex- or atomic-guarded
     paths the post-mortem exporters use, so scraping never blocks or

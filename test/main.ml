@@ -17,4 +17,7 @@ let () =
          T_jsonx.suites;
          T_profile.suites;
          T_history.suites;
+         T_fingerprint.suites;
+         T_ledger.suites;
+         T_cli.suites;
        ])

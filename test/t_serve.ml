@@ -163,8 +163,21 @@ let test_healthz_endpoint () =
             [
               {|"status":"ok"|}; {|"phase":"analyze"|};
               {|"structures_done":2|}; {|"structures_total":5|};
-              {|"uptime_s":|};
-            ]);
+              {|"uptime_s":|}; {|"run_id":null|}; {|"audit_enabled":false|};
+            ];
+          (* A recording in progress surfaces its ledger run id. *)
+          Rt.set_run_id (Some "ledger-run-1");
+          Alcotest.(check bool) "healthz carries the live run id" true
+            (T_obs.contains (http_get ~port "/healthz").body
+               {|"run_id":"ledger-run-1"|});
+          (* An installed audit provider flips the healthz flag. *)
+          Rt.set_audit_provider (Some (fun () -> "{}"));
+          Fun.protect
+            ~finally:(fun () -> Rt.set_audit_provider None)
+            (fun () ->
+              Alcotest.(check bool) "healthz reflects a live audit" true
+                (T_obs.contains (http_get ~port "/healthz").body
+                   {|"audit_enabled":true|})));
       Rt.reset ())
 
 let test_snapshot_endpoints () =
@@ -232,6 +245,30 @@ let test_audit_endpoint () =
             [
               {|"enabled":true|}; {|"structures_audited":0|}; {|"violations":0|};
             ]))
+
+let test_runs_endpoint () =
+  with_server (fun server ->
+      let port = Sv.port server in
+      (* Same provider contract as /audit: a valid "disabled" document
+         until --record-run installs a renderer. *)
+      Rt.set_runs_provider None;
+      let r = http_get ~port "/runs" in
+      Alcotest.(check int) "status without provider" 200 r.status;
+      Alcotest.(check (option string))
+        "json content type" (Some "application/json")
+        (List.assoc_opt "content-type" r.headers);
+      Alcotest.(check string) "disabled document" {|{"enabled":false}|}
+        (String.trim r.body);
+      Rt.set_runs_provider
+        (Some (fun () -> {|{"enabled":true,"runs":3,"run_id":"abc"}|}));
+      Fun.protect
+        ~finally:(fun () -> Rt.set_runs_provider None)
+        (fun () ->
+          Alcotest.(check string) "provider document served verbatim"
+            {|{"enabled":true,"runs":3,"run_id":"abc"}|}
+            (String.trim (http_get ~port "/runs").body));
+      Alcotest.(check string) "cleared provider" {|{"enabled":false}|}
+        (String.trim (http_get ~port "/runs").body))
 
 (* ---------------------------------------------------------------- *)
 (* Hostile clients                                                   *)
@@ -393,6 +430,7 @@ let suites =
         case "/healthz live run state" test_healthz_endpoint;
         case "/trace /profile /flight snapshots" test_snapshot_endpoints;
         case "/audit provider contract" test_audit_endpoint;
+        case "/runs provider contract" test_runs_endpoint;
       ] );
     ( "serve.hostile",
       [
